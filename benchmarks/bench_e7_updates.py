@@ -1,0 +1,148 @@
+"""E7 — update locality: succinct splice vs interval relabelling.
+
+Section 4.2: "This clustering method makes update easier since each
+update only affects a local sub-string."  The bench inserts small
+subtrees at random positions into documents of growing size and reports
+what each storage moves: the succinct scheme shifts only entries after
+the splice point (≈ n/2 expected, independent of *where* ancestors sit),
+while interval encoding must relabel pre/post/end of everything after the
+insertion *plus all ancestors* — and, critically, a tail insertion is
+nearly free for the splice but the interval store still rewrites labels.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.common import format_table, publish
+from repro.storage.interval import IntervalDocument
+from repro.storage.succinct import SuccinctDocument
+from repro.workload import generate_xmark
+from repro.xml.model import Element
+from repro.xml.parser import parse
+
+
+def fresh_stores(scale):
+    tree = generate_xmark(scale=scale, seed=21)
+    return (SuccinctDocument.from_document(tree),
+            IntervalDocument.from_document(tree))
+
+
+def subtree():
+    item = Element("item")
+    item.set_attribute("id", "new")
+    name = item.append(Element("name"))
+    name.append_text("inserted")
+    return item
+
+
+def next_insertion_point(succinct, rng):
+    """A fresh (parent, position) under a random region element —
+    recomputed per insertion, since every splice renumbers nodes."""
+    regions = [node for node in succinct.element_ids()
+               if succinct.tag(node) in ("europe", "asia", "africa",
+                                         "namerica")]
+    parent = rng.choice(regions)
+    children = sum(1 for child in succinct.children(parent)
+                   if succinct.kind(child) != 2)
+    return parent, rng.randint(0, children)
+
+
+def test_e7_report(benchmark):
+    rng = random.Random(3)
+    rows = []
+    for scale in (50, 100, 200, 400):
+        succinct, interval = fresh_stores(scale)
+        nodes = succinct.node_count
+        shifted = []
+        relabelled = []
+        for _ in range(8):
+            parent, position = next_insertion_point(succinct, rng)
+            metrics = succinct.insert_subtree(parent, position, subtree())
+            shifted.append(metrics["shifted_entries"])
+            metrics = interval.insert_subtree(parent, position, subtree())
+            relabelled.append(metrics["relabelled"])
+        # Bytes physically moved: the splice shifts ~1.25 bytes/entry
+        # (2 BP bits + a packed tag/kind id); the relabel rewrites full
+        # 20-byte label records (pre, post, end, level, parent).
+        splice_bytes = sum(shifted) / len(shifted) * 1.25
+        relabel_bytes = sum(relabelled) / len(relabelled) * 20
+        rows.append([
+            scale, nodes,
+            round(sum(shifted) / len(shifted)),
+            round(sum(relabelled) / len(relabelled)),
+            round(splice_bytes),
+            round(relabel_bytes),
+            round(relabel_bytes / max(1.0, splice_bytes), 1),
+        ])
+    # Deletions pay the same asymmetry.
+    delete_rows = []
+    for scale in (100, 400):
+        succinct, interval = fresh_stores(scale)
+        rng_local = random.Random(5)
+        spliced = []
+        relabelled_del = []
+        for _ in range(6):
+            items = [node for node in succinct.element_ids("item")]
+            victim = rng_local.choice(items)
+            metrics = succinct.delete_subtree(victim)
+            spliced.append(metrics["shifted_entries"])
+            metrics = interval.delete_subtree(victim)
+            relabelled_del.append(metrics["relabelled"])
+        delete_rows.append([
+            scale,
+            round(sum(spliced) / len(spliced)),
+            round(sum(relabelled_del) / len(relabelled_del)),
+            round(sum(relabelled_del) * 20
+                  / max(1.0, sum(spliced) * 1.25), 1),
+        ])
+
+    # Tail insertion: append at the very end of the document element.
+    succinct, interval = fresh_stores(200)
+    site = 1
+    site_children = sum(1 for child in succinct.children(site)
+                        if succinct.kind(child) != 2)
+    tail_succinct = succinct.insert_subtree(site, site_children, subtree())
+    tail_interval = interval.insert_subtree(site, site_children, subtree())
+
+    table = format_table(
+        "E7 — update cost per random subtree insertion",
+        ["scale", "nodes", "splice entries", "relabelled records",
+         "splice bytes", "relabel bytes", "byte ratio"],
+        rows,
+        note=f"Tail insertion on xmark-200: succinct shifts "
+             f"{tail_succinct['shifted_entries']} entries; interval "
+             f"relabels {tail_interval['relabelled']} — the splice is "
+             f"local, the labels are global.")
+    delete_table = format_table(
+        "E7b — deletion cost per random item removal",
+        ["scale", "splice entries", "relabelled records", "byte ratio"],
+        delete_rows)
+    publish("e7_updates", table + "\n\n" + delete_table)
+
+    # Shape: the byte cost of the splice is an order of magnitude below
+    # the relabel cost, and the tail insertion is free for the splice.
+    for row in rows:
+        assert row[6] >= 10
+    assert tail_succinct["shifted_entries"] <= 2
+
+    store, _ = fresh_stores(100)
+    benchmark(lambda: store.insert_subtree(1, 0, subtree()))
+
+
+def test_e7_succinct_insert_benchmark(benchmark):
+    succinct, _ = fresh_stores(200)
+
+    def insert():
+        succinct.insert_subtree(1, 0, subtree())
+
+    benchmark(insert)
+
+
+def test_e7_interval_insert_benchmark(benchmark):
+    _, interval = fresh_stores(200)
+
+    def insert():
+        interval.insert_subtree(1, 0, subtree())
+
+    benchmark(insert)

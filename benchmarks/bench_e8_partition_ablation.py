@@ -1,0 +1,73 @@
+"""E8 — ablation: how much does NoK partitioning save?
+
+The design choice behind Section 4.2: evaluate maximal NoK units with the
+single-scan matcher and join only across non-local edges.  The bench
+takes one 6-step path and sweeps the fraction of ``//`` edges from 0 to
+all, comparing the partitioned plan's join count and intermediates with
+the one-join-per-edge baseline.
+"""
+
+import pytest
+
+from benchmarks.common import format_table, publish, timed, xmark_database
+from repro.algebra.pattern_graph import compile_path
+from repro.physical.partition import partition_pattern
+from repro.workload.queries import descendant_fraction
+from repro.xpath.parser import parse_xpath
+
+SCALE = 400
+DEPTH = 6
+
+
+def run(database, query, strategy):
+    database.pages.reset()
+    return database.query(query, strategy=strategy)
+
+
+def test_e8_report(benchmark):
+    database = xmark_database(SCALE)
+    rows = []
+    for descendant_edges in range(0, DEPTH + 1):
+        query = descendant_fraction(DEPTH, descendant_edges)
+        pattern = compile_path(parse_xpath(query))
+        partitions = len(partition_pattern(pattern))
+        for strategy in ("partitioned", "structural-join"):
+            result = run(database, query, strategy)
+            seconds = timed(lambda q=query, s=strategy:
+                            run(database, q, s), repeat=2)
+            rows.append([
+                f"{descendant_edges}/{DEPTH}", query, strategy,
+                partitions if strategy == "partitioned" else "-",
+                result.stats["structural_joins"],
+                result.stats["intermediate_results"],
+                len(result), seconds * 1000,
+            ])
+    table = format_table(
+        f"E8 — partition ablation over xmark-{SCALE} "
+        f"(6-step path, growing // fraction)",
+        ["// edges", "query", "strategy", "partitions", "joins",
+         "intermediates", "results", "time (ms)"],
+        rows,
+        note="Partitioned joins == cut (//) edges; the join-per-edge "
+             "baseline pays one per step regardless.  At 0/6 the whole "
+             "pattern is one NoK unit: a single scan, zero joins.")
+    publish("e8_partition_ablation", table)
+
+    by_key = {(row[0], row[2]): row for row in rows}
+    for descendant_edges in range(0, DEPTH + 1):
+        key = f"{descendant_edges}/{DEPTH}"
+        assert by_key[(key, "partitioned")][4] == descendant_edges
+        assert by_key[(key, "structural-join")][4] >= DEPTH
+        assert by_key[(key, "partitioned")][6] == \
+            by_key[(key, "structural-join")][6]
+
+    benchmark(lambda: run(database, descendant_fraction(DEPTH, 2),
+                          "partitioned"))
+
+
+@pytest.mark.parametrize("descendant_edges", [0, 3, 6])
+def test_e8_fraction_benchmark(benchmark, descendant_edges):
+    database = xmark_database(SCALE)
+    query = descendant_fraction(DEPTH, descendant_edges)
+    result = benchmark(lambda: run(database, query, "partitioned"))
+    assert len(result) >= 0

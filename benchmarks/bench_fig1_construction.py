@@ -1,0 +1,59 @@
+"""F1 — regenerate Fig. 1: the query, its SchemaTree, and its evaluation.
+
+Fig. 1(a) is the paper's example XQuery; Fig. 1(b) the output schema
+extracted from it.  The bench prints the regenerated schema tree, checks
+the evaluation semantics (one <result> per book, with copied title/author
+content), and times the construction pipeline end to end over a growing
+bibliography.
+"""
+
+import pytest
+
+from benchmarks.common import dblp_database, format_table, publish, timed
+from repro.algebra.schema_tree import extract_schema_tree
+from repro.xquery.parser import parse_xquery
+
+FIG1 = (
+    '<results> {'
+    ' for $b in document("dblp.xml")/dblp/article'
+    ' let $t := $b/title'
+    ' let $a := $b/author'
+    ' return <result> {$t} {$a} </result>'
+    ' } </results>')
+
+
+def run_fig1(database):
+    return database.query(FIG1)
+
+
+def test_fig1_schema_tree_report(benchmark):
+    schema = benchmark(lambda: extract_schema_tree(parse_xquery(FIG1)))
+    lines = ["Fig. 1(b) — SchemaTree extracted from the Fig. 1(a) query",
+             "=" * 57, "", schema.describe(), ""]
+    sweep_rows = []
+    for publications in (50, 200, 800):
+        database = dblp_database(publications)
+        result = run_fig1(database)
+        results_element = result.items[0]
+        entries = len(list(results_element.child_elements("result")))
+        seconds = timed(lambda d=database: run_fig1(d))
+        sweep_rows.append([publications, entries, seconds * 1000])
+    lines.append(format_table(
+        "Fig. 1 query evaluation (gamma over the schema tree)",
+        ["publications", "result entries", "time (ms)"], sweep_rows,
+        note="One <result> per article; titles/authors are copied into "
+             "the constructed tree."))
+    publish("fig1_construction", "\n".join(lines))
+    assert len(schema.placeholders()) == 2
+
+
+def test_fig1_query_benchmark(benchmark):
+    database = dblp_database(200)
+    result = benchmark(lambda: run_fig1(database))
+    assert result.items[0].tag == "results"
+
+
+def test_fig1_reference_interpreter_benchmark(benchmark):
+    database = dblp_database(200)
+    result = benchmark(lambda: database.reference_query(FIG1))
+    assert result[0].tag == "results"

@@ -1,0 +1,67 @@
+"""F2 — regenerate Fig. 2: the layered environment of Example 1.
+
+Rebuilds the exact forest of the paper (for $a / for $b / let $c /
+let $d / for $e with the Fig. 2 branching — 13 total bindings, schema
+``($a,($b,$c,$d,($e)))``), prints its layer profile, then scales the same
+clause shape up to show Env construction and enumeration stay linear in
+the number of total bindings.
+"""
+
+import pytest
+
+from benchmarks.common import format_table, publish, timed
+from repro.algebra.env import Env
+
+
+def build_fig2() -> Env:
+    env = Env()
+    env.extend_for("a", lambda b: ["a1", "a2", "a3"])
+    b_values = {"a1": ["b11", "b12"], "a2": ["b21"],
+                "a3": ["b31", "b32", "b33"]}
+    env.extend_for("b", lambda b: b_values[b["a"][0]])
+    env.extend_let("c", lambda b: ["c-" + b["b"][0]])
+    env.extend_let("d", lambda b: ["d-" + b["b"][0]])
+    e_counts = {"b11": 3, "b12": 2, "b21": 2, "b31": 2, "b32": 3, "b33": 1}
+    env.extend_for("e", lambda b: [f"e{i}"
+                                   for i in range(e_counts[b["b"][0]])])
+    return env
+
+
+def build_scaled(fan_a: int, fan_b: int, fan_e: int) -> Env:
+    env = Env()
+    env.extend_for("a", lambda b: list(range(fan_a)))
+    env.extend_for("b", lambda b: list(range(fan_b)))
+    env.extend_let("c", lambda b: ["c"])
+    env.extend_let("d", lambda b: ["d"])
+    env.extend_for("e", lambda b: list(range(fan_e)))
+    return env
+
+
+def test_fig2_report(benchmark):
+    env = benchmark(build_fig2)
+    lines = ["Fig. 2 — the Example-1 environment, regenerated",
+             "=" * 47, "",
+             f"nested-list schema: {env.schema()}", "",
+             env.describe(), ""]
+    assert env.binding_count() == 13
+    assert env.schema() == "($a,($b,$c,$d,($e)))"
+
+    sweep = []
+    for fan in (4, 8, 16, 32):
+        bindings = fan * fan * fan
+        seconds = timed(lambda f=fan: list(
+            build_scaled(f, f, f).total_bindings()), repeat=2)
+        sweep.append([f"{fan}x{fan}x{fan}", bindings, seconds * 1000])
+    lines.append(format_table(
+        "Env scaling (same clause shape, growing fan-out)",
+        ["shape", "total bindings", "build+enumerate (ms)"], sweep,
+        note="Time grows linearly with the binding count — the Env is "
+             "the tuple stream, not a materialised cross product of "
+             "sequences."))
+    publish("fig2_env", "\n".join(lines))
+
+
+def test_env_enumeration_benchmark(benchmark):
+    env = build_scaled(16, 16, 16)
+    bindings = benchmark(lambda: list(env.total_bindings()))
+    assert len(bindings) == 16 ** 3

@@ -1,0 +1,87 @@
+"""T1 — regenerate Table 1 (the operator set) and micro-benchmark it.
+
+The table is produced from the *live* operator classes (signatures are
+data, checked at apply time), so this bench doubles as the guarantee that
+the implementation still matches the paper's operator inventory.
+"""
+
+import pytest
+
+from benchmarks.common import publish, format_table
+from repro.algebra.nested import NestedList
+from repro.algebra.operators import (
+    Navigate,
+    SelectTag,
+    SelectValue,
+    StructuralJoin,
+    TreePatternMatch,
+    ValueJoin,
+    operator_table,
+)
+from repro.algebra.pattern_graph import compile_path
+from repro.workload import generate_xmark
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_xpath
+
+
+@pytest.fixture(scope="module")
+def tree():
+    document = generate_xmark(scale=150, seed=42)
+    document.reindex()
+    return document
+
+
+@pytest.fixture(scope="module")
+def all_elements(tree):
+    return [node for node in tree.descendants()
+            if node.kind.value == "element"]
+
+
+def test_table1_regenerated(benchmark):
+    rows = [[row["category"], row["operator"], row["signature"],
+             row["description"]] for row in benchmark(operator_table)]
+    table = format_table(
+        "Table 1 — Operators (regenerated from the implementation)",
+        ["category", "operator", "signature", "description"], rows,
+        note="tau and gamma are the hybrid operators at the bottom/top "
+             "of every plan (Section 3.2).")
+    publish("table1_operators", table)
+    assert len(rows) == 7
+
+
+def test_sigma_s(benchmark, all_elements):
+    result = benchmark(lambda: SelectTag("item").apply(all_elements))
+    assert len(result) == 150
+
+
+def test_sigma_v(benchmark, tree):
+    prices = evaluate_xpath("//price", tree)
+    result = benchmark(lambda: SelectValue(">", 100.0).apply(prices))
+    assert result is not None
+
+
+def test_join_s(benchmark, tree):
+    items = evaluate_xpath("//item", tree)
+    names = evaluate_xpath("//name", tree)
+    result = benchmark(lambda: StructuralJoin("/").apply(items, names))
+    assert len(result) == 150
+
+
+def test_join_v(benchmark, tree):
+    sellers = evaluate_xpath("//seller/@person", tree)
+    buyers = evaluate_xpath("//buyer/@person", tree)
+    result = benchmark(lambda: ValueJoin("=").apply(buyers, sellers))
+    assert result is not None
+
+
+def test_pi_s(benchmark, tree):
+    items = evaluate_xpath("//item", tree)
+    result = benchmark(lambda: Navigate("/", tags="name").apply(items))
+    assert isinstance(result, NestedList)
+
+
+def test_tau(benchmark, tree):
+    pattern = compile_path(parse_xpath("/site/regions/europe/item/name"))
+    matcher = TreePatternMatch()
+    result = benchmark(lambda: matcher.apply(tree, pattern))
+    assert len(list(result)) > 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Run every experiment's report and print all the tables.
+
+The pytest harness (``pytest benchmarks/ --benchmark-only``) produces
+timing statistics and regenerates the same tables into
+``benchmarks/results/``; this runner is the quick way to see everything
+at once::
+
+    python benchmarks/run_all.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+class _NullBenchmark:
+    """Stands in for pytest-benchmark's fixture: call-through."""
+
+    def __call__(self, func, *args, **kwargs):
+        return func(*args, **kwargs)
+
+
+def main() -> None:
+    from benchmarks import (
+        bench_e1_storage_size,
+        bench_e2_nok_vs_joins,
+        bench_e3_twig_queries,
+        bench_e4_scaling,
+        bench_e5_selectivity,
+        bench_e6_flwor_strategies,
+        bench_e7_updates,
+        bench_e8_partition_ablation,
+        bench_e9_streaming,
+        bench_fig1_construction,
+        bench_fig2_env,
+        bench_table1_operators,
+    )
+
+    reports = [
+        ("T1", bench_table1_operators.test_table1_regenerated, ()),
+        ("F1", bench_fig1_construction.test_fig1_schema_tree_report, ()),
+        ("F2", bench_fig2_env.test_fig2_report, ()),
+        ("E1", bench_e1_storage_size.test_e1_storage_report, ()),
+        ("E2", bench_e2_nok_vs_joins.test_e2_report, ()),
+        ("E3", bench_e3_twig_queries.test_e3_report, ()),
+        ("E4", bench_e4_scaling.test_e4_report, ()),
+        ("E5", bench_e5_selectivity.test_e5_report, ()),
+        ("E6", bench_e6_flwor_strategies.test_e6_report, ()),
+        ("E7", bench_e7_updates.test_e7_report, ()),
+        ("E8", bench_e8_partition_ablation.test_e8_report, ()),
+    ]
+
+    started = time.perf_counter()
+    for label, report, args in reports:
+        print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
+        report(_NullBenchmark(), *args)
+
+    # E9 uses module fixtures; wire them manually.
+    from benchmarks import bench_e9_streaming as e9
+    from repro.engine.database import Database
+    from repro.workload import generate_xmark
+    from repro.xml.serializer import serialize
+
+    print(f"\n{'#' * 70}\n# E9\n{'#' * 70}")
+    text = serialize(generate_xmark(scale=e9.SCALE, seed=13))
+    database = Database()
+    database.load(text, uri="stream.xml")
+    e9.test_e9_report(_NullBenchmark(), text, database)
+
+    elapsed = time.perf_counter() - started
+    print(f"\nAll experiments completed in {elapsed:.1f}s; tables saved "
+          f"under benchmarks/results/.")
+
+
+if __name__ == "__main__":
+    main()

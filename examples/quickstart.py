@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: load a document, query it, inspect how it ran.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database
+
+BIB = """
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>Economics of Technology and Content</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <price>129.95</price>
+  </book>
+</bib>
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.load(BIB, uri="bib.xml")
+
+    print("== XPath: titles of books over $50 ==")
+    result = db.query("/bib/book[price > 50]/title")
+    for title in result:
+        print(" ", title.string_value())
+    print(f"  (strategy={result.strategy}, "
+          f"page_reads={result.io['page_reads']})")
+
+    print("\n== XQuery FLWOR: books by descending price ==")
+    result = db.query(
+        'for $b in doc("bib.xml")/bib/book '
+        "order by $b/price descending "
+        "return $b/title")
+    for title in result:
+        print(" ", title.string_value())
+
+    print("\n== XQuery construction (the paper's Fig. 1 query) ==")
+    result = db.query(
+        '<results> {'
+        ' for $b in document("bib.xml")/bib/book'
+        ' let $t := $b/title'
+        ' let $a := $b/author'
+        ' return <result> {$t} {$a} </result>'
+        ' } </results>')
+    print(result.serialize(indent="  "))
+
+    print("\n== Forcing execution strategies ==")
+    for strategy in ("nok", "structural-join", "twigstack",
+                     "navigational"):
+        result = db.query("//book[author]/title", strategy=strategy)
+        print(f"  {strategy:16s} -> {len(result)} results, "
+              f"stats={result.stats}")
+
+    print("\n== EXPLAIN ==")
+    print(db.explain("//book[price > 100]/title"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim: this environment is offline and has no `wheel`
+package, so editable installs must go through the legacy setuptools path
+(`setup.py develop`) instead of PEP 517."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'XML Query Processing and Optimization' "
+        "(EDBT 2004): logical XQuery algebra, succinct XML storage, "
+        "NoK pattern matching, and join-based baselines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

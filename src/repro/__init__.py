@@ -1,0 +1,69 @@
+"""repro — a reproduction of *XML Query Processing and Optimization*
+(Ning Zhang, EDBT 2004 PhD Workshop).
+
+The library implements the paper's full system, from scratch:
+
+* an XML substrate (parser, tree model, serializer),
+* the **logical algebra** of Section 3 — sorts (``NestedList``,
+  ``PatternGraph``, ``SchemaTree``, ``Env``), the Table-1 operators
+  (sigma_s, join_s, pi_s, sigma_v, join_v, **tau**, **gamma**),
+  XQuery-to-algebra translation, rewrite rules, and a cost model,
+* the **succinct physical storage** of Section 4 (balanced parentheses +
+  tags, separated content store) next to interval-encoded relational
+  baselines,
+* the **NoK single-scan pattern matcher** with its partitioner, plus the
+  join-based baselines of the literature (stack-tree joins, PathStack,
+  TwigStack), a navigational evaluator, and an index-scan path,
+* a query engine tying it together behind one facade.
+
+Quick start::
+
+    from repro import Database
+
+    db = Database()
+    db.load(open("bib.xml").read(), uri="bib.xml")
+    for title in db.query("//book[price > 50]/title"):
+        print(title.string_value())
+
+    report = db.query("//book/title", strategy="nok")
+    print(report.strategy, report.stats, report.io)
+"""
+
+from repro.engine.database import Database, QueryResult
+from repro.errors import (
+    ExecutionError,
+    PlanError,
+    QuerySyntaxError,
+    QueryTypeError,
+    ReproError,
+    StorageError,
+    TranslationError,
+    XMLSyntaxError,
+)
+from repro.xml.parser import parse, parse_file
+from repro.xml.serializer import serialize
+from repro.xpath import evaluate_xpath, parse_xpath
+from repro.xquery import evaluate_xquery, parse_xquery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "ExecutionError",
+    "PlanError",
+    "QueryResult",
+    "QuerySyntaxError",
+    "QueryTypeError",
+    "ReproError",
+    "StorageError",
+    "TranslationError",
+    "XMLSyntaxError",
+    "__version__",
+    "evaluate_xpath",
+    "evaluate_xquery",
+    "parse",
+    "parse_file",
+    "parse_xpath",
+    "parse_xquery",
+    "serialize",
+]

@@ -1,0 +1,48 @@
+"""The logical algebra (Section 3 of the paper).
+
+This package is the paper's primary contribution: an algebra that
+"captures the semantics of XQuery" and is implementable by either a native
+or an extended-relational engine.
+
+* :mod:`repro.algebra.sorts` / :mod:`repro.algebra.nested` — the sort
+  system: ``List``, ``TreeNode``, ``NestedList``, ``Tree`` plus the three
+  structured sorts below.
+* :mod:`repro.algebra.pattern_graph` — ``PatternGraph`` (Definition 1).
+* :mod:`repro.algebra.schema_tree` — ``SchemaTree`` (Definition 2), with
+  extraction from constructor expressions (Fig. 1b).
+* :mod:`repro.algebra.env` — ``Env`` (Definition 3), the layered
+  variable-binding forests of Fig. 2.
+* :mod:`repro.algebra.operators` — the operator set of Table 1 (σ_s, ⋈_s,
+  π_s, σ_v, ⋈_v, τ, γ) with machine-checked signatures.
+* :mod:`repro.algebra.plan` / :mod:`repro.algebra.translate` — logical
+  plans and the XQuery→algebra translation (soundness tested against the
+  reference interpreter).
+* :mod:`repro.algebra.rewrite` — the rewrite rules (path fusion into τ,
+  predicate pushdown, NoK partitioning).
+* :mod:`repro.algebra.cost` — the cost model (the paper's declared future
+  work, built here as the planned extension).
+"""
+
+from repro.algebra.env import Env
+from repro.algebra.nested import NestedList
+from repro.algebra.pattern_graph import (
+    PatternEdge,
+    PatternGraph,
+    PatternVertex,
+    compile_path,
+)
+from repro.algebra.schema_tree import SchemaTree, extract_schema_tree
+from repro.algebra.sorts import Sort, sort_of
+
+__all__ = [
+    "Env",
+    "NestedList",
+    "PatternEdge",
+    "PatternGraph",
+    "PatternVertex",
+    "SchemaTree",
+    "Sort",
+    "compile_path",
+    "extract_schema_tree",
+    "sort_of",
+]

@@ -1,0 +1,220 @@
+"""Backward (output-to-input) plan analysis — the paper's planned work.
+
+Section 6: "We have shown (as in Fig. 1(b)) that the output template
+(SchemaTree) can be extracted from an XQuery expression.  The remaining
+work is to show how to further generate an execution plan by backward
+(from output to input) analysis."
+
+This module implements that analysis:
+
+* :func:`free_variables` — the variables an expression actually reads;
+* :func:`required_variables` — walking a SchemaTree from its placeholders
+  *backwards*, the set of variables the output needs from each ϕ arc;
+* :func:`prune_flwor` — dead-binding elimination: ``let`` clauses whose
+  variables nothing downstream reads are dropped (``for`` clauses always
+  stay — they multiply cardinality even when their variable is unused);
+* :func:`backward_translate` — :func:`~repro.algebra.translate.translate`
+  for constructor queries with every ϕ arc pruned by what the output
+  below it requires.
+
+Equivalence is differential-tested: the pruned plan returns exactly the
+same output as the reference interpreter on the original query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xpath import ast as xp
+from repro.xquery import ast as xq
+from repro.algebra.plan import PlanNode
+from repro.algebra.schema_tree import SchemaNode, SchemaTree
+
+__all__ = ["free_variables", "required_variables", "prune_flwor",
+           "backward_translate", "analyze_schema_tree"]
+
+
+def free_variables(expr) -> set[str]:
+    """Variables referenced (free) in an XQuery/XPath expression.
+
+    FLWOR and quantified expressions bind variables: their clause/range
+    variables are removed from the free set of the parts they scope over.
+    """
+    if expr is None:
+        return set()
+    if isinstance(expr, xq.VarRef):
+        return {expr.name}
+    if isinstance(expr, xq.PathFrom):
+        inner = free_variables(expr.source)
+        for step in expr.path.steps:
+            for predicate in step.predicates:
+                inner |= free_variables(predicate)
+        return inner
+    if isinstance(expr, xp.LocationPath):
+        collected: set[str] = set()
+        for step in expr.steps:
+            for predicate in step.predicates:
+                collected |= free_variables(predicate)
+        return collected
+    if isinstance(expr, (xp.BinaryOp,)):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, xp.UnaryOp):
+        return free_variables(expr.operand)
+    if isinstance(expr, xp.Union_):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, xp.FunctionCall):
+        collected = set()
+        for argument in expr.args:
+            collected |= free_variables(argument)
+        return collected
+    if isinstance(expr, xq.FLWOR):
+        bound: set[str] = set()
+        collected = set()
+        for clause in expr.clauses:
+            collected |= free_variables(clause.expr) - bound
+            bound.add(clause.variable)
+            if isinstance(clause, xq.ForClause) and clause.position_var:
+                bound.add(clause.position_var)
+        for part in (expr.where, expr.return_expr):
+            collected |= free_variables(part) - bound
+        for spec in expr.order_by:
+            collected |= free_variables(spec.expr) - bound
+        return collected
+    if isinstance(expr, xq.IfExpr):
+        return (free_variables(expr.condition)
+                | free_variables(expr.then_branch)
+                | free_variables(expr.else_branch))
+    if isinstance(expr, xq.SequenceExpr):
+        collected = set()
+        for item in expr.items:
+            collected |= free_variables(item)
+        return collected
+    if isinstance(expr, xq.RangeExpr):
+        return free_variables(expr.low) | free_variables(expr.high)
+    if isinstance(expr, xq.QuantifiedExpr):
+        return (free_variables(expr.source)
+                | (free_variables(expr.condition) - {expr.variable}))
+    if isinstance(expr, xq.EnclosedExpr):
+        return free_variables(expr.expr)
+    if isinstance(expr, xq.ElementConstructor):
+        collected = set()
+        for _, template in expr.attributes:
+            for part in template.parts:
+                if isinstance(part, xq.EnclosedExpr):
+                    collected |= free_variables(part.expr)
+        for part in expr.children:
+            if isinstance(part, (xq.EnclosedExpr, xq.ElementConstructor)):
+                collected |= free_variables(part)
+        return collected
+    if isinstance(expr, xq.AttributeValue):
+        collected = set()
+        for part in expr.parts:
+            if isinstance(part, xq.EnclosedExpr):
+                collected |= free_variables(part.expr)
+        return collected
+    return set()  # literals, context items
+
+
+def required_variables(node: SchemaNode) -> set[str]:
+    """Backward pass over a schema subtree: the variables its
+    placeholders, if-conditions, attribute templates, and nested ϕ arcs
+    read (the demand the arc above must satisfy)."""
+    needed: set[str] = set()
+    if node.expr is not None:
+        needed |= free_variables(node.expr)
+    for _, template in node.attributes:
+        needed |= free_variables(template)
+    for child in node.children:
+        child_demand = required_variables(child)
+        if child.edge_expr is not None:
+            # The nested comprehension binds its own variables; what it
+            # needs from *us* is its free variables.
+            child_demand = free_variables(child.edge_expr) | (
+                child_demand - _bound_by(child.edge_expr))
+        needed |= child_demand
+    return needed
+
+
+def _bound_by(phi) -> set[str]:
+    if not isinstance(phi, xq.FLWOR):
+        return set()
+    bound = {clause.variable for clause in phi.clauses}
+    for clause in phi.clauses:
+        if isinstance(clause, xq.ForClause) and clause.position_var:
+            bound.add(clause.position_var)
+    return bound
+
+
+def prune_flwor(flwor: xq.FLWOR,
+                demand: Optional[set[str]] = None) -> xq.FLWOR:
+    """Dead-binding elimination.
+
+    Drops ``let`` clauses whose variable is read by nothing downstream
+    (later clauses, where, order by, return, or the external ``demand``
+    set).  ``for`` clauses are never dropped: iterating an empty or
+    multi-item sequence changes the binding count even if the variable is
+    never read.
+    """
+    demand = set(demand) if demand else set()
+    needed = set(demand)
+    needed |= free_variables(flwor.return_expr)
+    needed |= free_variables(flwor.where)
+    for spec in flwor.order_by:
+        needed |= free_variables(spec.expr)
+
+    kept: list = []
+    for clause in reversed(flwor.clauses):
+        if isinstance(clause, xq.LetClause) \
+                and clause.variable not in needed:
+            continue  # dead binding
+        kept.append(clause)
+        needed |= free_variables(clause.expr)
+    kept.reverse()
+    if len(kept) == len(flwor.clauses):
+        return flwor
+    return xq.FLWOR(tuple(kept), flwor.where, flwor.order_by,
+                    flwor.return_expr)
+
+
+def analyze_schema_tree(tree: SchemaTree) -> SchemaTree:
+    """Backward analysis over a whole schema tree: every ϕ arc is pruned
+    to the demand of the output below it.  Returns a new tree sharing
+    un-touched nodes."""
+    if tree.root is None:
+        return tree
+    pruned = SchemaTree()
+    pruned.root = _analyze(pruned, tree.root)
+    return pruned
+
+
+def _analyze(tree: SchemaTree, node: SchemaNode) -> SchemaNode:
+    clone = tree.new_node(node.kind, label=node.label, expr=node.expr,
+                          text=node.text, attributes=node.attributes)
+    clone.occurrence = node.occurrence
+    clone.edge_expr = node.edge_expr
+    for child in node.children:
+        analyzed = _analyze(tree, child)
+        if isinstance(analyzed.edge_expr, xq.FLWOR):
+            demand = required_variables(analyzed)
+            analyzed.edge_expr = prune_flwor(analyzed.edge_expr,
+                                             demand=demand)
+        clone.children.append(analyzed)
+    return clone
+
+
+def backward_translate(expr) -> PlanNode:
+    """Translate a query output-first: extract the schema tree, prune
+    every comprehension by the output's demand, then hand the result to
+    the forward translator.  Non-constructor queries translate normally
+    (with top-level FLWOR pruning when applicable)."""
+    from repro.algebra.plan import Gamma
+    from repro.algebra.translate import translate
+
+    if isinstance(expr, xq.ElementConstructor):
+        plan = translate(expr)
+        if isinstance(plan, Gamma):
+            plan.schema = analyze_schema_tree(plan.schema)
+        return plan
+    if isinstance(expr, xq.FLWOR):
+        return translate(prune_flwor(expr))
+    return translate(expr)

@@ -1,0 +1,167 @@
+"""``Env`` — Definition 3 of the paper.
+
+    An environment is a layered, balanced tree E = (N, A, V): all tree
+    nodes at the same distance from the root form a layer; each layer is
+    associated with a variable (or a boolean formula); the parent-child
+    relationship between adjacent layers is one-to-one (let-style) or
+    one-to-many (for-style), never mixed.  A root-to-leaf path is a
+    *total variable binding*.
+
+The paper's Example 1 (for $a / for $b / let $c / let $d / for $e) builds
+the nested-list schema ``($a,($b,$c,$d,($e)))`` and the 13-path forest of
+Fig. 2 — reproduced as a unit test and scaled up in bench F2.
+
+An :class:`Env` is built layer by layer: :meth:`extend_for` multiplies
+paths (one child per item), :meth:`extend_let` maps them one-to-one, and
+:meth:`filter_where` prunes leaves.  :meth:`total_bindings` enumerates
+root-to-leaf paths as variable-binding dictionaries — exactly the tuple
+stream the FLWOR return clause iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Env", "EnvLayer", "EnvNode"]
+
+
+@dataclass
+class EnvNode:
+    """One node: the value bound at its layer, for one partial binding."""
+
+    node_id: int
+    value: Any                       # the bound item (for) or sequence (let)
+    parent: Optional["EnvNode"]
+    children: list["EnvNode"] = field(default_factory=list)
+    alive: bool = True               # False once pruned by a where-layer
+
+
+@dataclass
+class EnvLayer:
+    """One layer: a variable (with a binding style) or a where-formula."""
+
+    variable: Optional[str]          # None for a where layer
+    style: str                       # "for" | "let" | "where"
+    nodes: list[EnvNode] = field(default_factory=list)
+
+
+class Env:
+    """A layered variable-binding forest (the environment)."""
+
+    def __init__(self):
+        self.layers: list[EnvLayer] = []
+        self._next_id = 0
+        # The virtual root anchoring the forest (not part of any layer).
+        self._root = EnvNode(node_id=-1, value=None, parent=None)
+
+    # -- construction --------------------------------------------------------
+
+    def _new_node(self, value: Any, parent: EnvNode) -> EnvNode:
+        node = EnvNode(node_id=self._next_id, value=value, parent=parent)
+        self._next_id += 1
+        parent.children.append(node)
+        return node
+
+    def _frontier(self) -> list[EnvNode]:
+        """The leaves the next layer grows from."""
+        if not self.layers:
+            return [self._root]
+        return [node for node in self.layers[-1].nodes if node.alive]
+
+    def extend_for(self, variable: str,
+                   generator: Callable[[dict], list]) -> None:
+        """Add a one-to-many (for-style) layer: ``generator`` maps each
+        current total binding to the sequence of items to iterate."""
+        layer = EnvLayer(variable=variable, style="for")
+        for leaf in self._frontier():
+            binding = self._binding_at(leaf)
+            for item in generator(binding):
+                layer.nodes.append(self._new_node([item], leaf))
+        self.layers.append(layer)
+
+    def extend_let(self, variable: str,
+                   generator: Callable[[dict], list]) -> None:
+        """Add a one-to-one (let-style) layer: each current binding gets
+        exactly one child holding the whole sequence."""
+        layer = EnvLayer(variable=variable, style="let")
+        for leaf in self._frontier():
+            binding = self._binding_at(leaf)
+            layer.nodes.append(self._new_node(generator(binding), leaf))
+        self.layers.append(layer)
+
+    def filter_where(self, predicate: Callable[[dict], bool]) -> None:
+        """Add a boolean-formula layer: prune bindings failing
+        ``predicate`` (the paths stay in the tree but are dead)."""
+        layer = EnvLayer(variable=None, style="where")
+        for leaf in self._frontier():
+            binding = self._binding_at(leaf)
+            node = self._new_node(None, leaf)
+            node.alive = predicate(binding)
+            layer.nodes.append(node)
+        self.layers.append(layer)
+
+    # -- enumeration ------------------------------------------------------------
+
+    def _binding_at(self, node: EnvNode) -> dict:
+        """The partial binding along the path from the root to ``node``."""
+        binding: dict = {}
+        chain: list[EnvNode] = []
+        walker: Optional[EnvNode] = node
+        while walker is not None and walker.node_id >= 0:
+            chain.append(walker)
+            walker = walker.parent
+        chain.reverse()
+        for depth, path_node in enumerate(chain):
+            variable = self.layers[depth].variable
+            if variable is not None:
+                binding[variable] = path_node.value
+        return binding
+
+    def total_bindings(self) -> Iterator[dict]:
+        """All alive total variable bindings (root-to-leaf paths)."""
+        for leaf in self._frontier():
+            yield self._binding_at(leaf)
+
+    def binding_count(self) -> int:
+        """Number of alive total bindings."""
+        return len(self._frontier())
+
+    # -- inspection ----------------------------------------------------------------
+
+    def layer_sizes(self) -> list[int]:
+        """Node count per layer (the widths visible in Fig. 2)."""
+        return [len(layer.nodes) for layer in self.layers]
+
+    def schema(self) -> str:
+        """The nested-list schema string, e.g. ``($a,($b,$c,$d,($e)))``:
+        a ``(`` opens before every for-style variable (one-to-many)."""
+        parts: list[str] = []
+        depth = 0
+        first = True
+        for layer in self.layers:
+            if layer.variable is None:
+                continue
+            if layer.style == "for":
+                parts.append("(" if first else ",(")
+                depth += 1
+                parts.append(f"${layer.variable}")
+            else:
+                parts.append(f",${layer.variable}")
+            first = False
+        parts.append(")" * depth)
+        return "".join(parts)
+
+    def describe(self) -> str:
+        """Per-layer summary (variable, style, width)."""
+        lines = []
+        for index, layer in enumerate(self.layers):
+            name = f"${layer.variable}" if layer.variable else "(where)"
+            lines.append(f"layer {index}: {name:>8}  style={layer.style:<5} "
+                         f"width={len(layer.nodes)}")
+        lines.append(f"total bindings: {self.binding_count()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<Env layers={len(self.layers)} "
+                f"bindings={self.binding_count()}>")

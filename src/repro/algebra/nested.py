@@ -1,0 +1,163 @@
+"""The ``NestedList`` sort: lists with arbitrary nesting.
+
+Section 3.2's motivating observation: the list comprehension ϕ of Fig. 1
+produces "a list of 2-tuples (i.e., nested list), instead of a flat list of
+tree nodes", and "generalizing the input and output as nested lists enables
+a single operator to implement the above list comprehension as a whole".
+
+A :class:`NestedList` holds *items*, each of which is an atomic value, a
+tree node (a model node or a storage pre-order id), or another
+``NestedList``.  Besides list basics it offers the structure-aware
+operations the algebra's middle operators need: ``flatten``, ``depth``,
+``map_leaves``, tuple access, and conversion from/to grouping structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["NestedList"]
+
+
+class NestedList:
+    """An immutable-ish nested list (mutation only through ``append``)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: list[Any] = list(items)
+
+    # -- basics ------------------------------------------------------------
+
+    def append(self, item: Any) -> None:
+        """Append one item (atomic, node, or nested list)."""
+        self._items.append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        result = self._items[index]
+        if isinstance(index, slice):
+            return NestedList(result)
+        return result
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NestedList):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - unhashable like list
+        raise TypeError("NestedList is unhashable")
+
+    def __repr__(self) -> str:
+        return f"NestedList({self._items!r})"
+
+    # -- structure ------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum nesting depth (flat list = 1, empty list = 1)."""
+        deepest = 0
+        for item in self._items:
+            if isinstance(item, NestedList):
+                deepest = max(deepest, item.depth())
+        return deepest + 1
+
+    def is_flat(self) -> bool:
+        """True iff no item is itself a nested list."""
+        return not any(isinstance(item, NestedList) for item in self._items)
+
+    def flatten(self) -> list[Any]:
+        """All leaves, left to right, as a flat Python list."""
+        leaves: list[Any] = []
+        stack: list[Iterator[Any]] = [iter(self._items)]
+        while stack:
+            item = next(stack[-1], _SENTINEL)
+            if item is _SENTINEL:
+                stack.pop()
+            elif isinstance(item, NestedList):
+                stack.append(iter(item._items))
+            else:
+                leaves.append(item)
+        return leaves
+
+    def leaf_count(self) -> int:
+        """Number of leaves (without materialising the flat list)."""
+        count = 0
+        stack: list[Iterator[Any]] = [iter(self._items)]
+        while stack:
+            item = next(stack[-1], _SENTINEL)
+            if item is _SENTINEL:
+                stack.pop()
+            elif isinstance(item, NestedList):
+                stack.append(iter(item._items))
+            else:
+                count += 1
+        return count
+
+    def map_leaves(self, function: Callable[[Any], Any]) -> "NestedList":
+        """Apply ``function`` to every leaf, preserving structure."""
+        mapped = NestedList()
+        for item in self._items:
+            if isinstance(item, NestedList):
+                mapped.append(item.map_leaves(function))
+            else:
+                mapped.append(function(item))
+        return mapped
+
+    def filter_leaves(self, predicate: Callable[[Any], bool]) -> "NestedList":
+        """Keep only leaves satisfying ``predicate`` (structure kept;
+        emptied sublists remain as empty nested lists)."""
+        kept = NestedList()
+        for item in self._items:
+            if isinstance(item, NestedList):
+                kept.append(item.filter_leaves(predicate))
+            elif predicate(item):
+                kept.append(item)
+        return kept
+
+    # -- tuple/grouping views -----------------------------------------------------
+
+    def tuples(self) -> Iterator[tuple]:
+        """Iterate the top level as tuples: each immediate sublist becomes
+        a tuple, each atomic item a 1-tuple.  This is the "list of
+        2-tuples" view of the Fig. 1 comprehension output."""
+        for item in self._items:
+            if isinstance(item, NestedList):
+                yield tuple(item._items)
+            else:
+                yield (item,)
+
+    @classmethod
+    def of_tuples(cls, rows: Iterable[Iterable[Any]]) -> "NestedList":
+        """Build a nested list of tuples (one sublist per row)."""
+        return cls(NestedList(row) for row in rows)
+
+    @classmethod
+    def group(cls, pairs: Iterable[tuple[Any, Any]]) -> "NestedList":
+        """Group ``(key, value)`` pairs (already key-clustered) into
+        ``[key, [values...]]`` sublists — the immediate-nesting encoding
+        of ancestor/descendant structure from the τ operator."""
+        grouped = cls()
+        current_key = _SENTINEL
+        bucket: NestedList | None = None
+        for key, value in pairs:
+            if key != current_key or bucket is None:
+                bucket = cls()
+                grouped.append(cls([key, bucket]))
+                current_key = key
+            bucket.append(value)
+        return grouped
+
+    def to_python(self):
+        """Recursively convert to plain Python lists (tests, debugging)."""
+        return [item.to_python() if isinstance(item, NestedList) else item
+                for item in self._items]
+
+
+_SENTINEL = object()

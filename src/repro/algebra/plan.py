@@ -1,0 +1,416 @@
+"""Logical query plans over the algebra.
+
+A plan is a tree of :class:`PlanNode` whose interior nodes are the Table-1
+operators and whose leaves are document scans, context references, or —
+for expressions outside the algebraic fragment — a reference-interpreter
+fallback (:class:`Eval`), which keeps the translation *complete* while the
+rewriter keeps enlarging the algebraic part.
+
+The layout mirrors Section 3.2's plan shape: τ at the bottom consuming
+documents, list operators in the middle, γ at the top producing the output
+tree.
+
+:func:`execute_plan` is the logical executor: it runs a plan with the
+reference operator implementations — the soundness oracle for the
+translator and the rewrite rules (both are tested by comparing plan output
+against the reference interpreter on the same query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ExecutionError
+from repro.xml import model
+from repro.xpath.semantics import Context, document_order_key
+from repro.xquery import ast as xq
+from repro.xquery.interpreter import XQueryInterpreter
+from repro.algebra.env import Env
+from repro.algebra.nested import NestedList
+from repro.algebra.operators import (
+    Construct,
+    Navigate,
+    SelectTag,
+    SelectValue,
+    TreePatternMatch,
+)
+from repro.algebra.pattern_graph import PatternGraph
+from repro.algebra.schema_tree import SchemaTree
+
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "ContextInput",
+    "Eval",
+    "Tau",
+    "PiStep",
+    "SigmaS",
+    "SigmaV",
+    "EnvBuild",
+    "ForEach",
+    "Gamma",
+    "ExecutionContext",
+    "execute_plan",
+    "explain_plan",
+]
+
+
+@dataclass
+class PlanNode:
+    """Base plan node; subclasses define ``inputs`` ordering."""
+
+    inputs: tuple["PlanNode", ...] = field(default=(), kw_only=True)
+    estimated_cardinality: Optional[float] = field(default=None,
+                                                   kw_only=True)
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return type(self).__name__
+
+    def replace_inputs(self, inputs: tuple["PlanNode", ...]) -> "PlanNode":
+        import copy
+        clone = copy.copy(self)
+        clone.inputs = inputs
+        return clone
+
+
+@dataclass
+class Scan(PlanNode):
+    """Leaf: one loaded document (sort Tree)."""
+
+    uri: str = ""
+
+    def describe(self) -> str:
+        return f"Scan({self.uri or '<default>'})"
+
+
+@dataclass
+class ContextInput(PlanNode):
+    """Leaf: the context item / current variable bindings."""
+
+    def describe(self) -> str:
+        return "Context()"
+
+
+@dataclass
+class Eval(PlanNode):
+    """Leaf fallback: evaluate an expression with the reference
+    interpreter (completeness escape hatch)."""
+
+    expr: Any = None
+
+    def describe(self) -> str:
+        return f"Eval({self.expr})"
+
+
+@dataclass
+class Tau(PlanNode):
+    """τ — tree pattern matching over input 0 (a Tree)."""
+
+    pattern: PatternGraph = None
+
+    def describe(self) -> str:
+        outputs = [v.label_text() for v in self.pattern.output_vertices()]
+        kind = "NoK" if self.pattern.is_nok() else "general"
+        return (f"Tau[{kind}, {self.pattern.vertex_count()} vertices, "
+                f"out={'|'.join(outputs)}]")
+
+
+@dataclass
+class PiStep(PlanNode):
+    """π_s — one navigation step from the nodes of input 0 (flattened)."""
+
+    relation: str = "/"
+    tags: Optional[frozenset[str]] = None
+    kind: str = "element"
+
+    def describe(self) -> str:
+        label = "*" if self.tags is None else "|".join(sorted(self.tags))
+        return f"Pi[{self.relation}{label}]"
+
+
+@dataclass
+class SigmaS(PlanNode):
+    """σ_s — tag selection on input 0."""
+
+    tags: frozenset[str] = frozenset()
+
+    def describe(self) -> str:
+        return f"SigmaS[{'|'.join(sorted(self.tags))}]"
+
+
+@dataclass
+class SigmaV(PlanNode):
+    """σ_v — value selection on input 0."""
+
+    op: str = "="
+    literal: Any = None
+
+    def describe(self) -> str:
+        return f"SigmaV[. {self.op} {self.literal!r}]"
+
+
+@dataclass
+class EnvBuild(PlanNode):
+    """Builds the Env (Definition 3) from FLWOR clauses.
+
+    ``clauses`` is a list of ``(style, variable, source)`` with style
+    ``for``/``let`` and source either a PlanNode or a raw expression.
+    """
+
+    clauses: tuple = ()
+    where: Any = None
+    order_by: tuple = ()
+
+    def describe(self) -> str:
+        parts = [f"{style} ${var}" for style, var, _ in self.clauses]
+        if self.where is not None:
+            parts.append("where ...")
+        if self.order_by:
+            parts.append("order by ...")
+        return f"EnvBuild[{', '.join(parts)}]"
+
+
+@dataclass
+class ForEach(PlanNode):
+    """Evaluates ``return_expr`` once per total binding of the Env from
+    input 0, concatenating results."""
+
+    return_expr: Any = None
+
+    def describe(self) -> str:
+        return f"ForEach[{self.return_expr}]"
+
+
+@dataclass
+class Gamma(PlanNode):
+    """γ — construction over the Env from input 0."""
+
+    schema: SchemaTree = None
+
+    def describe(self) -> str:
+        placeholders = len(self.schema.placeholders())
+        return f"Gamma[{placeholders} placeholders]"
+
+
+# -- execution --------------------------------------------------------------------
+
+
+class ExecutionContext:
+    """Runtime context of the logical executor."""
+
+    def __init__(self, documents: dict[str, model.Document],
+                 variables: Optional[dict] = None,
+                 context_node: Optional[model.Node] = None):
+        self.documents = documents
+        self.variables = variables if variables is not None else {}
+        if context_node is None and len(documents) == 1:
+            context_node = next(iter(documents.values()))
+        self.context_node = context_node
+        self.interpreter = XQueryInterpreter(documents)
+
+    def with_variables(self, variables: dict) -> "ExecutionContext":
+        child = ExecutionContext.__new__(ExecutionContext)
+        child.documents = self.documents
+        child.variables = variables
+        child.context_node = self.context_node
+        child.interpreter = self.interpreter
+        return child
+
+    def eval_expr(self, expr, extra_vars: Optional[dict] = None):
+        variables = self.variables if extra_vars is None else {
+            **self.variables, **extra_vars}
+        node = self.context_node if self.context_node is not None \
+            else model.Document()
+        value = self.interpreter.evaluate(expr,
+                                          Context(node, variables=variables))
+        return value if isinstance(value, list) else [value]
+
+
+def execute_plan(plan: PlanNode, context: ExecutionContext):
+    """Run a logical plan and return its value (list / NestedList /
+    Document)."""
+    if isinstance(plan, Scan):
+        if plan.uri:
+            document = context.documents.get(plan.uri)
+            if document is None:
+                raise ExecutionError(f"document {plan.uri!r} is not loaded")
+            return document
+        if context.context_node is None:
+            raise ExecutionError("no context document for Scan")
+        document = context.context_node.document
+        return document if document is not None else context.context_node
+    if isinstance(plan, ContextInput):
+        if context.context_node is None:
+            raise ExecutionError("no context item")
+        return [context.context_node]
+    if isinstance(plan, Eval):
+        return context.eval_expr(plan.expr)
+    if isinstance(plan, Tau):
+        # An engine-provided context lowers tau onto physical storage
+        # (see repro.engine.executor); the logical operator is the
+        # reference path.
+        lower = getattr(context, "run_tau", None)
+        if lower is not None and plan.inputs \
+                and isinstance(plan.inputs[0], Scan):
+            return lower(plan)
+        tree = execute_plan(plan.inputs[0], context)
+        return TreePatternMatch().apply(tree, plan.pattern)
+    if isinstance(plan, PiStep):
+        value = execute_plan(plan.inputs[0], context)
+        nodes = _as_flat_nodes(value)
+        grouped = Navigate(plan.relation, plan.tags).apply(nodes)
+        flattened = grouped.flatten()
+        if plan.kind == "text":
+            flattened = [n for n in flattened if isinstance(n, model.Text)]
+        elif plan.kind == "element" and plan.tags is None:
+            flattened = [n for n in flattened
+                         if isinstance(n, model.Element)]
+        return _dedup_order(flattened)
+    if isinstance(plan, SigmaS):
+        nodes = _as_flat_nodes(execute_plan(plan.inputs[0], context))
+        return SelectTag(plan.tags).apply(nodes)
+    if isinstance(plan, SigmaV):
+        nodes = _as_flat_nodes(execute_plan(plan.inputs[0], context))
+        return SelectValue(plan.op, plan.literal).apply(nodes)
+    if isinstance(plan, EnvBuild):
+        return _build_env(plan, context)
+    if isinstance(plan, ForEach):
+        env = execute_plan(plan.inputs[0], context)
+        output: list = []
+        for binding in env.total_bindings():
+            output.extend(context.eval_expr(plan.return_expr,
+                                            extra_vars=binding))
+        return output
+    if isinstance(plan, Gamma):
+        env = execute_plan(plan.inputs[0], context)
+        rows = NestedList(dict(binding) for binding in env.total_bindings())
+
+        def evaluate(expr, binding):
+            if isinstance(expr, xq.AttributeValue):
+                return _attribute_text(expr, binding, context)
+            return context.eval_expr(expr, extra_vars=binding)
+
+        def expand(phi, binding):
+            inner = EnvBuild(
+                clauses=tuple(("for" if isinstance(c, xq.ForClause)
+                               else "let", c.variable, Eval(expr=c.expr))
+                              for c in phi.clauses),
+                where=phi.where, order_by=phi.order_by)
+            env_inner = _build_env(
+                inner, context.with_variables({**context.variables,
+                                               **binding}))
+            return env_inner.total_bindings()
+
+        gamma = Construct(evaluate=evaluate, expand=expand)
+        return gamma.apply(rows, plan.schema)
+    raise ExecutionError(f"cannot execute plan node {plan!r}")
+
+
+def _attribute_text(template: xq.AttributeValue, binding: dict,
+                    context: ExecutionContext) -> str:
+    from repro.xpath.semantics import string_value
+
+    parts: list[str] = []
+    for part in template.parts:
+        if isinstance(part, str):
+            parts.append(part)
+        else:
+            items = context.eval_expr(part.expr, extra_vars=binding)
+            parts.append(" ".join(
+                string_value([item]) if isinstance(item, model.Node)
+                else string_value(item) for item in items))
+    return "".join(parts)
+
+
+def _build_env(plan: EnvBuild, context: ExecutionContext) -> Env:
+    env = Env()
+    for style, variable, source in plan.clauses:
+        def generator(binding, source=source):
+            merged = {**context.variables, **binding}
+            if isinstance(source, PlanNode):
+                value = execute_plan(source,
+                                     context.with_variables(merged))
+                if isinstance(value, NestedList):
+                    return value.flatten()
+                if isinstance(value, model.Document):
+                    return [value]
+                return value
+            return context.eval_expr(source, extra_vars=binding)
+        if style == "for":
+            env.extend_for(variable, generator)
+        else:
+            env.extend_let(variable, generator)
+    if plan.where is not None:
+        env.filter_where(lambda binding: _truthy(
+            context.eval_expr(plan.where, extra_vars=binding)))
+    if plan.order_by:
+        _order_env(env, plan.order_by, context)
+    return env
+
+
+def _order_env(env: Env, specs, context: ExecutionContext) -> None:
+    """Order the Env's frontier by the order-by keys (stable)."""
+    from repro.xpath.semantics import number_value, string_value
+    from repro.xquery.functions import atomize_item
+
+    frontier = env._frontier()
+
+    def keys_for(node):
+        binding = env._binding_at(node)
+        key = []
+        for spec in specs:
+            items = context.eval_expr(spec.expr, extra_vars=binding)
+            atom = atomize_item(items[0]) if items else ""
+            number = number_value(atom)
+            if number == number:
+                key.append((0, number, ""))
+            else:
+                key.append((1, 0.0, string_value(atom)))
+        return key
+
+    decorated = [(keys_for(node), node) for node in frontier]
+    for position in range(len(specs) - 1, -1, -1):
+        decorated.sort(key=lambda row, p=position: row[0][p],
+                       reverse=specs[position].descending)
+    ordered = [node for _, node in decorated]
+    # Rewrite the last layer's node list so the frontier iterates in the
+    # requested order (dead nodes keep their positions at the end).
+    last_layer = env.layers[-1]
+    dead = [node for node in last_layer.nodes if not node.alive]
+    last_layer.nodes = ordered + dead
+
+
+def _truthy(sequence) -> bool:
+    from repro.xpath.semantics import sequence_boolean
+    return sequence_boolean(sequence)
+
+
+def _as_flat_nodes(value) -> list:
+    if isinstance(value, NestedList):
+        return value.flatten()
+    if isinstance(value, model.Document):
+        return [value]
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def _dedup_order(nodes: list) -> list:
+    seen: set[int] = set()
+    unique = []
+    for node in nodes:
+        if node.node_id not in seen:
+            seen.add(node.node_id)
+            unique.append(node)
+    unique.sort(key=document_order_key)
+    return unique
+
+
+def explain_plan(plan: PlanNode, indent: int = 0) -> str:
+    """Readable multi-line plan rendering (EXPLAIN)."""
+    pad = "  " * indent
+    lines = [f"{pad}{plan.describe()}"]
+    for child in plan.inputs:
+        lines.append(explain_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Logical rewrite rules.
+
+The paper defers rewrite rules to future work but names the goal: show
+"how extensively this algebra accommodates optimization techniques".  We
+implement the three rules its Sections 3.2 and 4.2 motivate directly:
+
+* :class:`FusePathsIntoTau` — collapse a navigation pipeline
+  (π_s/σ_v chains over a Scan) into a single τ.  This is the executable
+  version of the Section-3.2 argument that a single TPM operator
+  "implement[s] the list comprehension as a whole ... with a single scan
+  of the input data without the need for structural joins".
+* :class:`PushSelectionIntoTau` — fold a σ_v over a τ into a value
+  constraint on the τ's output vertex (predicate pushdown).
+* :class:`LiftEvalToTau` — re-examine interpreter fallbacks: if the
+  expression turns out to be a compilable absolute path, replace the
+  :class:`Eval` leaf with τ over a Scan.
+
+All rules are *equivalence-tested*: the differential suite executes the
+plan before and after rewriting and compares results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xpath import ast as xp
+from repro.algebra.pattern_graph import (
+    PatternGraph,
+    UnsupportedPattern,
+    compile_path,
+)
+from repro.algebra.plan import (
+    Eval,
+    PiStep,
+    PlanNode,
+    Scan,
+    SigmaV,
+    Tau,
+)
+
+__all__ = ["RewriteRule", "FusePathsIntoTau", "PushSelectionIntoTau",
+           "LiftEvalToTau", "DEFAULT_RULES", "rewrite_plan"]
+
+
+class RewriteRule:
+    """A rule maps one plan node to a replacement, or ``None``."""
+
+    name = "rule"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FusePathsIntoTau(RewriteRule):
+    """π_s/σ_v chain over a Scan  ==>  one τ with the equivalent pattern."""
+
+    name = "fuse-paths-into-tau"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        import copy
+
+        chain: list[PlanNode] = []
+        cursor = node
+        while isinstance(cursor, (PiStep, SigmaV)):
+            chain.append(cursor)
+            cursor = cursor.inputs[0]
+        if not chain:
+            return None
+        chain.reverse()
+        if isinstance(cursor, Scan):
+            if not any(isinstance(step, PiStep) for step in chain):
+                return None
+            graph = PatternGraph()
+            root = graph.add_vertex(None, kind="any")
+            current = root.vertex_id
+            base_inputs: tuple = (cursor,)
+        elif isinstance(cursor, Tau):
+            # The bottom-up pass already fused a prefix: keep extending
+            # the existing pattern from its (single) output vertex.
+            outputs = cursor.pattern.output_vertices()
+            if len(outputs) != 1:
+                return None
+            graph = copy.deepcopy(cursor.pattern)
+            target = [v for v in graph.vertices.values() if v.output][0]
+            target.output = False
+            current = target.vertex_id
+            base_inputs = cursor.inputs
+        else:
+            return None
+        current = self._extend_pattern(graph, current, chain)
+        if current is None:
+            return None
+        graph.vertices[current].output = True
+        return Tau(pattern=graph, inputs=base_inputs)
+
+    @staticmethod
+    def _extend_pattern(graph: PatternGraph, current: int,
+                        chain: list[PlanNode]) -> Optional[int]:
+        for step in chain:
+            if isinstance(step, PiStep):
+                if step.kind == "attribute":
+                    labels = (None if step.tags is None else
+                              frozenset(tag.lstrip("@")
+                                        for tag in step.tags))
+                    vertex = graph.add_vertex(labels, kind="attribute")
+                elif step.kind == "text":
+                    vertex = graph.add_vertex(None, kind="text")
+                elif step.kind == "any":
+                    vertex = graph.add_vertex(None, kind="any")
+                else:
+                    vertex = graph.add_vertex(step.tags, kind="element")
+                relation = step.relation
+                if step.kind == "attribute" and relation == "/":
+                    relation = "@"
+                try:
+                    graph.add_edge(current, vertex.vertex_id, relation)
+                except ValueError:
+                    return None
+                current = vertex.vertex_id
+            else:  # SigmaV
+                graph.add_value_constraint(current, step.op, step.literal)
+        return current
+
+
+class PushSelectionIntoTau(RewriteRule):
+    """σ_v over τ  ==>  τ with the constraint on its output vertex."""
+
+    name = "push-selection-into-tau"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not isinstance(node, SigmaV):
+            return None
+        child = node.inputs[0]
+        if not isinstance(child, Tau):
+            return None
+        outputs = child.pattern.output_vertices()
+        if len(outputs) != 1:
+            return None
+        import copy
+        pattern = copy.deepcopy(child.pattern)
+        target = [v for v in pattern.vertices.values() if v.output][0]
+        pattern.add_value_constraint(target.vertex_id, node.op,
+                                     node.literal)
+        return Tau(pattern=pattern, inputs=child.inputs)
+
+
+class LiftEvalToTau(RewriteRule):
+    """Eval(absolute compilable path)  ==>  τ over Scan."""
+
+    name = "lift-eval-to-tau"
+
+    def apply(self, node: PlanNode) -> Optional[PlanNode]:
+        if not isinstance(node, Eval):
+            return None
+        expr = node.expr
+        if not (isinstance(expr, xp.LocationPath) and expr.absolute):
+            return None
+        if not expr.steps:
+            return None
+        try:
+            pattern = compile_path(expr, strict=True)
+        except UnsupportedPattern:
+            return None
+        return Tau(pattern=pattern, inputs=(Scan(),))
+
+
+DEFAULT_RULES: tuple[RewriteRule, ...] = (
+    FusePathsIntoTau(),
+    PushSelectionIntoTau(),
+    LiftEvalToTau(),
+)
+
+
+def rewrite_plan(plan: PlanNode,
+                 rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
+                 max_passes: int = 10) -> PlanNode:
+    """Apply ``rules`` bottom-up to fixpoint (bounded by ``max_passes``)."""
+    for _ in range(max_passes):
+        plan, changed = _rewrite_once(plan, rules)
+        if not changed:
+            break
+    return plan
+
+
+def _rewrite_once(node: PlanNode,
+                  rules: tuple[RewriteRule, ...]) -> tuple[PlanNode, bool]:
+    changed = False
+    if node.inputs:
+        new_inputs = []
+        for child in node.inputs:
+            new_child, child_changed = _rewrite_once(child, rules)
+            changed = changed or child_changed
+            new_inputs.append(new_child)
+        if changed:
+            node = node.replace_inputs(tuple(new_inputs))
+    for rule in rules:
+        replacement = rule.apply(node)
+        if replacement is not None:
+            return replacement, True
+    return node, changed

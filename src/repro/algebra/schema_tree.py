@@ -1,0 +1,160 @@
+"""``SchemaTree`` — Definition 2 of the paper.
+
+    An SchemaTree is a labelled tree O = (Σ, N, A, E): N nodes, A arcs,
+    E a set of (XQuery/algebraic) expressions.  A leaf is labelled with a
+    name (empty element) or an expression (a *placeholder*); a non-leaf
+    is labelled with a name (a *constructor-node*) or a boolean expression
+    (an *if-node*).  Arcs may be labelled with an expression — the ϕ of
+    Fig. 1, the binding generator whose evaluations replace the
+    placeholders below the arc.
+
+:func:`extract_schema_tree` performs the extraction the paper illustrates
+in Fig. 1: from the constructor expression (a) to the output schema (b).
+The γ (construction) operator consumes a SchemaTree plus the NestedList of
+intermediate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xquery import ast as xq
+
+__all__ = ["SchemaNode", "SchemaTree", "extract_schema_tree"]
+
+CONSTRUCTOR = "constructor"
+PLACEHOLDER = "placeholder"
+IF_NODE = "if"
+TEXT_NODE = "text"
+
+
+@dataclass
+class SchemaNode:
+    """One node of the schema tree."""
+
+    node_id: int
+    kind: str                              # constructor|placeholder|if|text
+    label: Optional[str] = None            # element name (constructor)
+    expr: Optional[object] = None          # placeholder/if expression
+    text: Optional[str] = None             # literal text content
+    attributes: tuple[tuple[str, object], ...] = ()
+    children: list["SchemaNode"] = field(default_factory=list)
+    edge_expr: Optional[object] = None     # ϕ on the arc from the parent
+    occurrence: str = ""                   # "", "*" or "?" marker
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.kind == CONSTRUCTOR:
+            head = f"{pad}{self.label}{self.occurrence}"
+        elif self.kind == PLACEHOLDER:
+            head = f"{pad}{{ {self.expr} }}"
+        elif self.kind == TEXT_NODE:
+            head = f"{pad}{self.text!r}"
+        else:
+            head = f"{pad}if({self.expr})"
+        if self.edge_expr is not None:
+            head += f"   <-- phi: {_phi_summary(self.edge_expr)}"
+        lines = [head]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def _phi_summary(expr) -> str:
+    """One-line description of a ϕ edge expression (the comprehension)."""
+    if isinstance(expr, xq.FLWOR):
+        bindings = ", ".join(
+            f"${clause.variable} {'in' if isinstance(clause, xq.ForClause) else ':='} ..."
+            for clause in expr.clauses)
+        return f"[{bindings}]"
+    return str(expr)[:60]
+
+
+class SchemaTree:
+    """The schema tree with its root and a node registry."""
+
+    def __init__(self):
+        self.nodes: list[SchemaNode] = []
+        self.root: Optional[SchemaNode] = None
+
+    def new_node(self, kind: str, **kwargs) -> SchemaNode:
+        node = SchemaNode(node_id=len(self.nodes), kind=kind, **kwargs)
+        self.nodes.append(node)
+        if self.root is None:
+            self.root = node
+        return node
+
+    def placeholders(self) -> list[SchemaNode]:
+        """All placeholder leaves, in document order of the output."""
+        return [node for node in self.nodes if node.kind == PLACEHOLDER]
+
+    def constructor_nodes(self) -> list[SchemaNode]:
+        return [node for node in self.nodes if node.kind == CONSTRUCTOR]
+
+    def describe(self) -> str:
+        """Readable rendering of the tree (Fig. 1b regenerated)."""
+        if self.root is None:
+            return "(empty schema tree)"
+        return self.root.describe()
+
+    def __repr__(self) -> str:
+        return (f"<SchemaTree nodes={len(self.nodes)} "
+                f"placeholders={len(self.placeholders())}>")
+
+
+def extract_schema_tree(expr) -> SchemaTree:
+    """Extract the output schema from an XQuery expression (Fig. 1).
+
+    Constructor expressions become constructor-nodes; enclosed FLWORs
+    become arcs labelled with the comprehension ϕ whose return expression
+    is extracted below the arc (placeholders occur under ``*`` nodes,
+    since the comprehension yields zero or more bindings); conditionals
+    become if-nodes; other expressions become placeholder leaves.
+    """
+    tree = SchemaTree()
+    root = _extract(tree, expr, edge_expr=None)
+    tree.root = root
+    return tree
+
+
+def _extract(tree: SchemaTree, expr, edge_expr) -> SchemaNode:
+    if isinstance(expr, xq.ElementConstructor):
+        node = tree.new_node(
+            CONSTRUCTOR, label=expr.tag, edge_expr=edge_expr,
+            attributes=tuple((name, template)
+                             for name, template in expr.attributes))
+        for part in expr.children:
+            if isinstance(part, str):
+                node.children.append(tree.new_node(TEXT_NODE, text=part))
+            elif isinstance(part, xq.ElementConstructor):
+                node.children.append(_extract(tree, part, edge_expr=None))
+            elif isinstance(part, xq.EnclosedExpr):
+                node.children.append(
+                    _extract_enclosed(tree, part.expr))
+        return node
+    if isinstance(expr, xq.IfExpr):
+        node = tree.new_node(IF_NODE, expr=expr.condition,
+                             edge_expr=edge_expr)
+        node.children.append(_extract(tree, expr.then_branch,
+                                      edge_expr=None))
+        node.children.append(_extract(tree, expr.else_branch,
+                                      edge_expr=None))
+        return node
+    return tree.new_node(PLACEHOLDER, expr=expr, edge_expr=edge_expr)
+
+
+def _extract_enclosed(tree: SchemaTree, expr) -> SchemaNode:
+    """An enclosed expression inside element content."""
+    if isinstance(expr, xq.FLWOR):
+        # The comprehension ϕ labels the arc; its return shape repeats
+        # zero or more times, so the child carries the "*" marker.
+        child = _extract(tree, expr.return_expr, edge_expr=expr)
+        child.occurrence = "*"
+        return child
+    if isinstance(expr, (xq.ElementConstructor, xq.IfExpr)):
+        return _extract(tree, expr, edge_expr=None)
+    return tree.new_node(PLACEHOLDER, expr=expr)

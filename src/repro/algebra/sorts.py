@@ -1,0 +1,105 @@
+"""The algebra's sort system.
+
+Section 3.2 argues the W3C's two sorts (flat ``List`` + ``TreeNode``) are
+not enough: tree manipulation wants ``NestedList`` (so one operator can
+produce the whole list comprehension of Fig. 1 in one pass) and labelled
+``Tree``; path and constructor translation want ``PatternGraph`` and
+``SchemaTree``; FLWOR scoping wants ``Env``.
+
+:func:`sort_of` infers the sort of a runtime value, and
+:func:`check_signature` verifies an operator application — this is what
+makes the paper's Table 1 machine-checkable (test suite + the T1 bench
+regenerate the table from the live operator classes).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+__all__ = ["Sort", "sort_of", "check_signature", "SortError"]
+
+
+class Sort(enum.Enum):
+    """Sorts of the algebra (Section 3.2 plus primitives)."""
+
+    ITEM = "Item"                  # atomic: Integer, Boolean, String...
+    TREE_NODE = "TreeNode"
+    LIST = "List"                  # flat list of nodes/atomics
+    NESTED_LIST = "NestedList"     # arbitrary nesting
+    TREE = "Tree"                  # labelled tree (an XML document)
+    PATTERN_GRAPH = "PatternGraph"
+    SCHEMA_TREE = "SchemaTree"
+    ENV = "Env"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SortError(TypeError):
+    """An operator was applied to values of the wrong sort."""
+
+
+def sort_of(value: Any) -> Sort:
+    """Infer the algebra sort of a runtime value.
+
+    A flat Python list is ``List``; a list containing a
+    :class:`~repro.algebra.nested.NestedList` (or a ``NestedList`` object
+    itself) is ``NestedList``.  Storage node handles (ints) and model
+    nodes are ``TreeNode``.
+    """
+    from repro.algebra.env import Env
+    from repro.algebra.nested import NestedList
+    from repro.algebra.pattern_graph import PatternGraph
+    from repro.algebra.schema_tree import SchemaTree
+    from repro.xml import model
+
+    if isinstance(value, NestedList):
+        return Sort.NESTED_LIST
+    if isinstance(value, PatternGraph):
+        return Sort.PATTERN_GRAPH
+    if isinstance(value, SchemaTree):
+        return Sort.SCHEMA_TREE
+    if isinstance(value, Env):
+        return Sort.ENV
+    if isinstance(value, model.Document):
+        return Sort.TREE
+    if isinstance(value, model.Node):
+        return Sort.TREE_NODE
+    if isinstance(value, list):
+        if any(isinstance(item, (NestedList, list)) for item in value):
+            return Sort.NESTED_LIST
+        return Sort.LIST
+    if isinstance(value, (str, int, float, bool)):
+        return Sort.ITEM
+    raise SortError(f"value {value!r} has no algebra sort")
+
+
+# List is a sub-sort of NestedList (a flat list is trivially nested), and
+# a TreeNode is a one-element List in contexts that expect lists.
+_COERCIONS: dict[Sort, frozenset[Sort]] = {
+    Sort.NESTED_LIST: frozenset({Sort.LIST}),
+    Sort.LIST: frozenset(),
+}
+
+
+def _accepts(expected: Sort, actual: Sort) -> bool:
+    if expected is actual:
+        return True
+    return actual in _COERCIONS.get(expected, frozenset())
+
+
+def check_signature(name: str, expected: tuple[Sort, ...],
+                    values: tuple[Any, ...]) -> None:
+    """Verify that ``values`` match an operator's input signature.
+
+    Raises :class:`SortError` with a precise message on mismatch.
+    """
+    if len(expected) != len(values):
+        raise SortError(
+            f"{name} expects {len(expected)} inputs, got {len(values)}")
+    for index, (sort, value) in enumerate(zip(expected, values)):
+        actual = sort_of(value)
+        if not _accepts(sort, actual):
+            raise SortError(
+                f"{name} input {index}: expected {sort}, got {actual}")

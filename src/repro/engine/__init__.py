@@ -1,0 +1,11 @@
+"""The query engine: databases, planning, execution, EXPLAIN.
+
+:class:`~repro.engine.database.Database` is the public facade: load
+documents (text, files, or trees), pick an execution strategy, run XPath
+and XQuery, inspect EXPLAIN output and per-query metrics.
+"""
+
+from repro.engine.database import Database, QueryResult
+from repro.engine.mapping import storage_preorder_map
+
+__all__ = ["Database", "QueryResult", "storage_preorder_map"]

@@ -1,0 +1,403 @@
+"""The Database facade — the library's main entry point.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database()
+    db.load(xml_text, uri="bib.xml")
+    result = db.query("/bib/book[price > 50]/title")
+    for node in result.items:
+        print(node.string_value())
+    print(result.strategy, result.stats, result.io)
+
+A loaded document materialises the full storage stack: the model tree
+(reference semantics, residual checks), the succinct store (NoK), the
+interval store + tag index (join strategies), the content B+ tree
+(index-scan), one-pass statistics (cost model), all charging I/O to the
+database's page manager.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.xml import model
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+from repro.xpath.semantics import Context, sequence_boolean
+from repro.storage.btree import BPlusTree
+from repro.storage.interval import IntervalDocument
+from repro.storage.pages import PageManager
+from repro.storage.stats import DocumentStatistics
+from repro.storage.succinct import SuccinctDocument
+from repro.storage.tagindex import TagIndex
+from repro.algebra.backward import backward_translate
+from repro.algebra.cost import CostModel
+from repro.algebra.plan import explain_plan
+from repro.algebra.rewrite import rewrite_plan
+from repro.engine.executor import PhysicalExecutionContext, run_plan
+from repro.engine.mapping import storage_node_list, storage_preorder_map
+from repro.physical.base import MatchRuntime
+from repro.physical.planner import STRATEGIES, PhysicalPlanner
+from repro.xquery.parser import parse_xquery
+
+__all__ = ["Database", "QueryResult", "LoadedDocument"]
+
+
+@dataclass
+class LoadedDocument:
+    """Everything the engine keeps per document."""
+
+    uri: str
+    tree: model.Document
+    succinct: SuccinctDocument
+    interval: IntervalDocument
+    tag_index: TagIndex
+    statistics: DocumentStatistics
+    value_index: BPlusTree
+    numeric_index: BPlusTree
+    runtime: MatchRuntime
+    node_list: list            # storage pre-order id -> model node
+    preorder_map: dict         # model node_id -> storage pre-order id
+
+    def node_for(self, preorder: int) -> model.Node:
+        """The model node behind a storage pre-order id."""
+        return self.node_list[preorder]
+
+
+@dataclass
+class QueryResult:
+    """A query's result sequence plus its execution report."""
+
+    items: list
+    strategy: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+    io: dict = field(default_factory=dict)
+
+    def values(self) -> list:
+        """String values of nodes / raw atomics — handy in examples."""
+        return [item.string_value() if isinstance(item, model.Node)
+                else item for item in self.items]
+
+    def serialize(self, indent: Optional[str] = None) -> str:
+        """The result sequence as XML text."""
+        parts = []
+        for item in self.items:
+            if isinstance(item, model.Node):
+                parts.append(serialize(item, indent=indent))
+            else:
+                parts.append(str(item))
+        return "\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class Database:
+    """An in-memory XML database with pluggable execution strategies."""
+
+    def __init__(self, page_size: int = 4096, pool_pages: int = 256):
+        self.pages = PageManager(page_size=page_size, pool_pages=pool_pages)
+        self.documents: dict[str, LoadedDocument] = {}
+        self._default_uri: Optional[str] = None
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, text: str, uri: str = "doc.xml",
+             keep_whitespace: bool = False) -> LoadedDocument:
+        """Parse and load XML text under ``uri``."""
+        return self.load_tree(parse(text, keep_whitespace=keep_whitespace,
+                                    uri=uri), uri=uri)
+
+    def load_file(self, path, uri: Optional[str] = None) -> LoadedDocument:
+        """Load an XML file (``uri`` defaults to the path)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.load(handle.read(), uri=uri or str(path))
+
+    def load_tree(self, tree: model.Document,
+                  uri: str = "doc.xml") -> LoadedDocument:
+        """Load an already-built model tree."""
+        succinct = SuccinctDocument.from_document(tree)
+        interval = IntervalDocument.from_document(tree)
+        tag_index = TagIndex(interval, pages=self.pages)
+        statistics = DocumentStatistics(interval)
+        value_segment = self.pages.segment(f"value-btree:{uri}")
+        value_index = BPlusTree.bulk_load(succinct.content.sorted_entries(),
+                                          segment=value_segment)
+        # A second, typed index for numeric range predicates: string
+        # order is wrong for numbers ("9" > "10"), so values that parse
+        # as numbers are indexed by their float key too.
+        numeric_pairs = []
+        for _, value, owner in succinct.content:
+            try:
+                numeric_pairs.append((float(value), owner))
+            except ValueError:
+                continue
+        numeric_pairs.sort(key=lambda pair: pair[0])
+        numeric_index = BPlusTree.bulk_load(
+            numeric_pairs,
+            segment=self.pages.segment(f"numeric-btree:{uri}"))
+        node_list = storage_node_list(tree)
+        preorder_map = storage_preorder_map(tree)
+        document = LoadedDocument(
+            uri=uri, tree=tree, succinct=succinct, interval=interval,
+            tag_index=tag_index, statistics=statistics,
+            value_index=value_index, numeric_index=numeric_index,
+            runtime=None,  # type: ignore[arg-type]
+            node_list=node_list, preorder_map=preorder_map)
+        document.runtime = MatchRuntime(
+            succinct, interval, tag_index, pages=self.pages,
+            residual_check=self._residual_checker(document),
+            value_index=value_index, numeric_index=numeric_index,
+            statistics=statistics)
+        self.documents[uri] = document
+        if self._default_uri is None:
+            self._default_uri = uri
+        return document
+
+    def _residual_checker(self, document: LoadedDocument):
+        from repro.xpath.semantics import XPathEvaluator
+
+        evaluator = XPathEvaluator()
+
+        def check(vertex, preorder: int) -> bool:
+            node = document.node_for(preorder)
+            for expr in vertex.residual:
+                value = evaluator.evaluate(expr, Context(node))
+                if not sequence_boolean(value):
+                    return False
+            return True
+
+        return check
+
+    def document(self, uri: Optional[str] = None) -> LoadedDocument:
+        """The loaded document for ``uri`` (default: first loaded)."""
+        target = uri or self._default_uri
+        if target is None or target not in self.documents:
+            raise ExecutionError(f"document {target!r} is not loaded")
+        return self.documents[target]
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(self, text: str, strategy: str = "auto",
+              uri: Optional[str] = None,
+              variables: Optional[dict] = None) -> QueryResult:
+        """Run an XPath/XQuery expression.
+
+        ``strategy`` selects the physical pattern-matching strategy (one
+        of ``repro.physical.planner.STRATEGIES``); ``auto`` uses the cost
+        model.  ``uri`` picks the context document for absolute paths.
+        ``variables`` provides external bindings, e.g.
+        ``db.query("//book[title = $t]", variables={"t": ["TCP/IP"]})``.
+        """
+        if strategy not in STRATEGIES:
+            raise ExecutionError(
+                f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+        expr = parse_xquery(text)
+        # Backward (output-to-input) analysis prunes dead let-bindings
+        # from comprehensions before the forward translation (Section 6).
+        plan = rewrite_plan(backward_translate(expr))
+        context = self._execution_context(uri, strategy,
+                                          variables=variables)
+        self.pages.counters.reset()
+        started = time.perf_counter()
+        items = run_plan(plan, context)
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            items=items,
+            strategy=context.last_strategy,
+            elapsed_seconds=elapsed,
+            stats=context.accumulated_stats.snapshot(),
+            io=self.pages.counters.snapshot(),
+        )
+
+    def xpath(self, text: str, strategy: str = "auto",
+              uri: Optional[str] = None) -> QueryResult:
+        """Alias of :meth:`query` (the XPath fragment is a subset)."""
+        return self.query(text, strategy=strategy, uri=uri)
+
+    def reference_query(self, text: str,
+                        uri: Optional[str] = None) -> list:
+        """Evaluate with the reference interpreter only (ground truth)."""
+        from repro.xquery.interpreter import evaluate_xquery
+
+        trees = {loaded_uri: doc.tree
+                 for loaded_uri, doc in self.documents.items()}
+        context_node = None
+        if uri is not None:
+            context_node = self.document(uri).tree
+        elif self._default_uri is not None:
+            context_node = self.document().tree
+        return evaluate_xquery(text, documents=trees,
+                               context_node=context_node)
+
+    def explain(self, text: str, strategy: str = "auto",
+                uri: Optional[str] = None) -> str:
+        """The logical plan, the chosen physical strategy per τ, and the
+        cost estimates."""
+        expr = parse_xquery(text)
+        plan = rewrite_plan(backward_translate(expr))
+        lines = [explain_plan(plan)]
+        document = self.document(uri)
+        cost_model = CostModel(document.statistics)
+        planner = PhysicalPlanner(cost_model)
+        from repro.algebra.plan import PlanNode, Tau
+
+        def walk(node: PlanNode) -> None:
+            if isinstance(node, Tau):
+                chosen = (strategy if strategy != "auto"
+                          else planner.choose(node.pattern))
+                estimate = cost_model.result_cardinality(node.pattern)
+                lines.append("")
+                lines.append(f"tau strategy: {chosen} "
+                             f"(est. {estimate:.1f} matches)")
+                lines.append(node.pattern.describe())
+                if chosen == "partitioned":
+                    from repro.physical.partition import partition_pattern
+                    partitions = partition_pattern(node.pattern)
+                    cuts = ", ".join(p.cut_edge.relation
+                                     for p in partitions[1:])
+                    lines.append(
+                        f"partitions: {len(partitions)} NoK units over "
+                        f"one shared scan; joins on cut edges [{cuts}]")
+            for child in node.inputs:
+                walk(child)
+
+        walk(plan)
+        return "\n".join(lines)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _execution_context(self, uri: Optional[str], strategy: str,
+                           variables: Optional[dict] = None
+                           ) -> PhysicalExecutionContext:
+        document = self.document(uri)
+        trees = {loaded_uri: doc.tree
+                 for loaded_uri, doc in self.documents.items()}
+        return PhysicalExecutionContext(
+            database=self, documents=trees,
+            context_node=document.tree, strategy=strategy,
+            variables=variables)
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(self, parent_path: str, fragment: str,
+               position: Optional[int] = None,
+               uri: Optional[str] = None) -> dict:
+        """Insert an XML ``fragment`` as a child of the (single) element
+        ``parent_path`` selects, keeping every storage structure aligned.
+
+        The succinct and interval stores are spliced in place (their
+        update metrics are returned); the derived structures (tag index,
+        statistics, value indexes, pre-order maps) are rebuilt — they are
+        indexes over the stores, not primary data.
+        """
+        document = self.document(uri)
+        targets = self.query(parent_path, uri=uri).items
+        if len(targets) != 1 or not isinstance(targets[0], model.Element):
+            raise ExecutionError(
+                f"insert target {parent_path!r} must select exactly one "
+                f"element (got {len(targets)} items)")
+        parent = targets[0]
+        fragment_tree = parse(f"<wrap>{fragment}</wrap>")
+        children = list(fragment_tree.root.children())
+        if len(children) != 1 or not isinstance(children[0], model.Element):
+            raise ExecutionError(
+                "fragment must contain exactly one element")
+        subtree = fragment_tree.root.remove(children[0])
+
+        element_children = [c for c in parent.children()]
+        if position is None:
+            position = len(element_children)
+        if position < 0 or position > len(element_children):
+            raise ExecutionError(f"child position {position} out of range")
+
+        # Primary stores: local splices, with the paper's cost metrics.
+        parent_pre = document.preorder_map[parent.node_id]
+        succinct_metrics = document.succinct.insert_subtree(
+            parent_pre, position, subtree)
+        interval_metrics = document.interval.insert_subtree(
+            parent_pre, position, subtree)
+        # The model tree mirrors the change (it owns reference semantics).
+        parent.insert(position if position < len(element_children)
+                      else len(element_children), subtree)
+
+        self._rebuild_derived(document)
+        return {"succinct": succinct_metrics, "interval": interval_metrics}
+
+    def delete(self, path: str, uri: Optional[str] = None) -> dict:
+        """Delete the (single) element ``path`` selects, keeping every
+        storage structure aligned.  Returns the stores' update metrics.
+        """
+        document = self.document(uri)
+        targets = self.query(path, uri=uri).items
+        if len(targets) != 1 or not isinstance(targets[0], model.Element):
+            raise ExecutionError(
+                f"delete target {path!r} must select exactly one element "
+                f"(got {len(targets)} items)")
+        victim = targets[0]
+        if victim.parent is None:
+            raise ExecutionError("cannot delete the document element's "
+                                 "parent")
+        preorder = document.preorder_map[victim.node_id]
+        succinct_metrics = document.succinct.delete_subtree(preorder)
+        interval_metrics = document.interval.delete_subtree(preorder)
+        victim.parent.remove(victim)
+        self._rebuild_derived(document)
+        return {"succinct": succinct_metrics, "interval": interval_metrics}
+
+    def _rebuild_derived(self, document: LoadedDocument) -> None:
+        """Refresh the structures derived from the primary stores."""
+        document.tag_index = TagIndex(document.interval, pages=self.pages)
+        document.statistics = DocumentStatistics(document.interval)
+        document.value_index = BPlusTree.bulk_load(
+            document.succinct.content.sorted_entries(),
+            segment=self.pages.segment(f"value-btree:{document.uri}"))
+        numeric_pairs = []
+        for _, value, owner in document.succinct.content:
+            try:
+                numeric_pairs.append((float(value), owner))
+            except ValueError:
+                continue
+        numeric_pairs.sort(key=lambda pair: pair[0])
+        document.numeric_index = BPlusTree.bulk_load(
+            numeric_pairs,
+            segment=self.pages.segment(f"numeric-btree:{document.uri}"))
+        document.node_list = storage_node_list(document.tree)
+        document.preorder_map = storage_preorder_map(document.tree)
+        document.runtime = MatchRuntime(
+            document.succinct, document.interval, document.tag_index,
+            pages=self.pages,
+            residual_check=self._residual_checker(document),
+            value_index=document.value_index,
+            numeric_index=document.numeric_index,
+            statistics=document.statistics)
+
+    def loaded_for_tree(self, tree: model.Document
+                        ) -> Optional[LoadedDocument]:
+        """The LoadedDocument wrapping ``tree`` (identity match)."""
+        for document in self.documents.values():
+            if document.tree is tree:
+                return document
+        return None
+
+    def storage_report(self, uri: Optional[str] = None) -> dict:
+        """Byte accounting of every storage structure (experiment E1)."""
+        document = self.document(uri)
+        succinct_sizes = document.succinct.size_bytes()
+        interval_sizes = document.interval.size_bytes()
+        return {
+            "nodes": document.succinct.node_count,
+            "succinct": succinct_sizes,
+            "interval": interval_sizes,
+            "tag_index_bytes": document.tag_index.size_bytes(),
+            "value_index_bytes": document.value_index.size_bytes(),
+        }

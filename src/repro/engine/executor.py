@@ -1,0 +1,120 @@
+"""Plan execution with physical lowering.
+
+:func:`run_plan` executes a logical plan exactly like
+:func:`repro.algebra.plan.execute_plan`, except that every **τ** node is
+dispatched to the physical planner — NoK scan, partitioned NoK + joins,
+structural joins, PathStack, TwigStack, navigational, or index-scan —
+against the loaded document's storage, and the resulting pre-order ids are
+materialised back to model nodes so the rest of the plan (list operators,
+FLWOR machinery, γ) is storage-agnostic.
+
+Patterns whose output set the join strategies cannot produce (multiple
+output vertices) run through the NoK binding machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.xml import model
+from repro.algebra.plan import (
+    ExecutionContext,
+    PlanNode,
+    Scan,
+    Tau,
+    execute_plan,
+)
+from repro.algebra.cost import CostModel
+from repro.physical.base import OperatorStats
+from repro.physical.planner import PhysicalPlanner
+
+__all__ = ["PhysicalExecutionContext", "run_plan"]
+
+
+class PhysicalExecutionContext(ExecutionContext):
+    """Execution context that lowers τ nodes onto the storage engine."""
+
+    def __init__(self, database, documents, context_node=None,
+                 strategy: str = "auto", variables: Optional[dict] = None):
+        super().__init__(documents, variables=variables,
+                         context_node=context_node)
+        self.database = database
+        self.strategy = strategy
+        # Shared across with_variables() copies so sub-plan executions
+        # (FLWOR clause sources) report into the same query record.
+        self._shared = {"last_strategy": None}
+        self.accumulated_stats = OperatorStats()
+
+    @property
+    def last_strategy(self) -> Optional[str]:
+        return self._shared["last_strategy"]
+
+    @last_strategy.setter
+    def last_strategy(self, value: Optional[str]) -> None:
+        self._shared["last_strategy"] = value
+
+    def with_variables(self, variables: dict) -> "PhysicalExecutionContext":
+        child = PhysicalExecutionContext.__new__(PhysicalExecutionContext)
+        child.documents = self.documents
+        child.variables = variables
+        child.context_node = self.context_node
+        child.interpreter = self.interpreter
+        child.database = self.database
+        child.strategy = self.strategy
+        child._shared = self._shared
+        child.accumulated_stats = self.accumulated_stats
+        return child
+
+    # -- physical tau ------------------------------------------------------------
+
+    def run_tau(self, plan: Tau) -> list:
+        """Execute a τ over the loaded storage; returns model nodes."""
+        scan = plan.inputs[0]
+        if not isinstance(scan, Scan):
+            raise ExecutionError("tau input must be a document scan")
+        tree = execute_plan(scan, self)
+        loaded = self.database.loaded_for_tree(tree)
+        if loaded is None:
+            raise ExecutionError(
+                f"document {getattr(tree, 'uri', '?')!r} has no storage "
+                "(loaded outside the database?)")
+        planner = PhysicalPlanner(CostModel(loaded.statistics))
+        outputs = plan.pattern.output_vertices()
+        if len(outputs) == 1:
+            matches, stats, used = planner.match(
+                plan.pattern, loaded.runtime, root=0,
+                strategy=self.strategy)
+        else:
+            bindings, stats = planner.match_bindings(
+                plan.pattern, loaded.runtime, root=0)
+            matches = sorted({node for binding in bindings
+                              for node in binding.values()})
+            used = "nok"
+        self.last_strategy = used
+        self.accumulated_stats.merge(stats)
+        self.accumulated_stats.solutions += stats.solutions
+        return [loaded.node_for(preorder) for preorder in matches]
+
+
+def run_plan(plan: PlanNode, context: PhysicalExecutionContext):
+    """Execute ``plan`` with physical τ lowering; other node types reuse
+    the logical executor (which calls back into this function for
+    sub-plans through the EnvBuild machinery)."""
+    if isinstance(plan, Tau) and plan.inputs \
+            and isinstance(plan.inputs[0], Scan):
+        return context.run_tau(plan)
+    value = execute_plan(plan, context)
+    return _normalise(value)
+
+
+def _normalise(value):
+    from repro.algebra.nested import NestedList
+
+    if isinstance(value, NestedList):
+        return value.flatten()
+    if isinstance(value, model.Document):
+        return list(value.children())
+    if isinstance(value, list):
+        return value
+    return [value]

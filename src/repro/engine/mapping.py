@@ -1,0 +1,61 @@
+"""Model-tree ↔ storage pre-order alignment.
+
+The storage layer numbers nodes in the order the event stream delivers
+them: document, then per element — the element, its attributes, then its
+content with *adjacent text runs merged into one node*.  The model tree
+does not include attributes in its own pre-order and may (rarely) hold
+adjacent text siblings, so this module provides the explicit mapping both
+the engine (residual checks, result materialisation) and the differential
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.xml import model
+
+__all__ = ["storage_preorder_map", "storage_node_list"]
+
+
+def storage_preorder_map(document: model.Document) -> dict[int, int]:
+    """``model node_id -> storage pre-order id``.
+
+    Adjacent model text siblings map to the same (merged) storage node.
+    """
+    mapping: dict[int, int] = {}
+    for preorder, nodes in enumerate(_storage_groups(document)):
+        for node in nodes:
+            mapping[node.node_id] = preorder
+    return mapping
+
+
+def storage_node_list(document: model.Document) -> list[model.Node]:
+    """``storage pre-order id -> model node`` (first of a merged text
+    run)."""
+    return [nodes[0] for nodes in _storage_groups(document)]
+
+
+def _storage_groups(document: model.Document):
+    """Model nodes grouped per storage node, in storage pre-order."""
+    yield [document]
+    for child in document.children():
+        yield from _walk(child)
+
+
+def _walk(node: model.Node):
+    if isinstance(node, model.Element):
+        yield [node]
+        for attribute in node.attributes():
+            yield [attribute]
+        text_run: list[model.Node] = []
+        for child in node.children():
+            if isinstance(child, model.Text):
+                text_run.append(child)
+                continue
+            if text_run:
+                yield text_run
+                text_run = []
+            yield from _walk(child)
+        if text_run:
+            yield text_run
+    else:
+        yield [node]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Subsystems raise
+the most specific subclass that applies:
+
+* parsing problems  -> :class:`XMLSyntaxError`, :class:`QuerySyntaxError`
+* semantic problems -> :class:`QueryTypeError`, :class:`TranslationError`
+* storage problems  -> :class:`StorageError`
+* execution problems-> :class:`ExecutionError`, :class:`PlanError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the XML parser on ill-formed input.
+
+    Carries the (1-based) ``line`` and ``column`` where the problem was
+    detected, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the XPath/XQuery parsers on ill-formed query text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryTypeError(ReproError):
+    """Raised when a query is well-formed but not well-typed.
+
+    Example: applying a path step to an integer, or comparing a sequence
+    of more than one item with a value comparison.
+    """
+
+
+class TranslationError(ReproError):
+    """Raised when an XQuery expression cannot be translated to the algebra.
+
+    The algebra is complete only for the non-recursive fragment (Section 3.1
+    of the paper); expressions outside it raise this error.
+    """
+
+
+class StorageError(ReproError):
+    """Raised on storage-layer failures (corrupt page, bad node id...)."""
+
+
+class PlanError(ReproError):
+    """Raised by the planner when no physical plan can implement a logical
+    plan (e.g. a strategy was forced that cannot express the pattern)."""
+
+
+class ExecutionError(ReproError):
+    """Raised by physical operators when execution fails at run time."""

@@ -1,0 +1,159 @@
+"""Shared infrastructure for physical operators.
+
+:class:`MatchRuntime` bundles everything a physical strategy needs for one
+document: the succinct store, the interval store (same pre-order
+numbering), the tag index, the page manager it charges I/O to, and the
+residual-predicate checker (a callback into the reference evaluator, set
+up by the engine which owns the model tree).
+
+:class:`OperatorStats` collects the per-run metrics the benchmarks report
+alongside wall-clock time and page I/O: nodes visited, elements scanned
+from posting lists, intermediate-result sizes, join count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ExecutionError
+from repro.storage.interval import IntervalDocument
+from repro.storage.pages import PageManager
+from repro.storage.succinct import SuccinctDocument
+from repro.storage.tagindex import TagIndex
+from repro.algebra.operators import compare_values
+from repro.algebra.pattern_graph import PatternGraph, PatternVertex
+
+__all__ = ["OperatorStats", "MatchRuntime", "single_output_vertex"]
+
+
+@dataclass
+class OperatorStats:
+    """Metrics one strategy run accumulates."""
+
+    nodes_visited: int = 0          # storage nodes touched by navigation
+    postings_scanned: int = 0       # posting-list entries consumed
+    intermediate_results: int = 0   # entries in intermediate lists
+    structural_joins: int = 0       # binary structural joins performed
+    solutions: int = 0              # final output size
+
+    def merge(self, other: "OperatorStats") -> None:
+        self.nodes_visited += other.nodes_visited
+        self.postings_scanned += other.postings_scanned
+        self.intermediate_results += other.intermediate_results
+        self.structural_joins += other.structural_joins
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "nodes_visited": self.nodes_visited,
+            "postings_scanned": self.postings_scanned,
+            "intermediate_results": self.intermediate_results,
+            "structural_joins": self.structural_joins,
+            "solutions": self.solutions,
+        }
+
+
+class MatchRuntime:
+    """Per-document runtime shared by the physical strategies."""
+
+    def __init__(self, succinct: SuccinctDocument,
+                 interval: IntervalDocument,
+                 tag_index: TagIndex,
+                 pages: Optional[PageManager] = None,
+                 residual_check: Optional[
+                     Callable[[PatternVertex, int], bool]] = None,
+                 value_index=None, numeric_index=None, statistics=None):
+        self.succinct = succinct
+        self.interval = interval
+        self.tag_index = tag_index
+        self.pages = pages
+        self._residual_check = residual_check
+        self.value_index = value_index      # string content -> owner
+        self.numeric_index = numeric_index  # float(content) -> owner
+        self.statistics = statistics        # DocumentStatistics or None
+        if pages is not None:
+            structure = succinct.size_bytes()
+            self.structure_segment = pages.segment(
+                "succinct:structure",
+                structure["structure"] + structure["tags"]
+                + structure["kinds"])
+            # The navigational (commercial stand-in) strategy reads
+            # pointer-based DOM records, ~32 bytes per node.
+            self.dom_segment = pages.segment(
+                "dom:records", 32 * succinct.node_count)
+        else:
+            self.structure_segment = None
+            self.dom_segment = None
+
+    # -- vertex predicate evaluation -------------------------------------------
+
+    def vertex_accepts(self, vertex: PatternVertex, preorder: int,
+                       check_value: bool = True) -> bool:
+        """Full per-node check of a pattern vertex (tag, value
+        constraints, residuals) against the stored node ``preorder``."""
+        if not vertex.matches_tag(self.succinct.tag(preorder)):
+            return False
+        if check_value and not self.value_ok(vertex, preorder):
+            return False
+        return self.residual_ok(vertex, preorder)
+
+    def value_ok(self, vertex: PatternVertex, preorder: int) -> bool:
+        for op, literal in vertex.value_constraints:
+            if not compare_values(op, self.succinct.string_value(preorder),
+                                  literal):
+                return False
+        return True
+
+    def residual_ok(self, vertex: PatternVertex, preorder: int) -> bool:
+        if not vertex.residual:
+            return True
+        if self._residual_check is None:
+            raise ExecutionError(
+                "pattern has residual predicates but the runtime has no "
+                "residual checker (positional predicates need the engine)")
+        return self._residual_check(vertex, preorder)
+
+    # -- structural helpers --------------------------------------------------------
+
+    def pre_end(self, preorder: int) -> tuple[int, int]:
+        """(pre, end) interval of the stored node."""
+        record = self.interval.node(preorder)
+        return record.pre, record.end
+
+    def is_descendant(self, ancestor: int, descendant: int) -> bool:
+        record = self.interval.node(ancestor)
+        return record.pre < descendant <= record.end
+
+    def is_following_sibling(self, left: int, right: int) -> bool:
+        left_record = self.interval.node(left)
+        right_record = self.interval.node(right)
+        return (left_record.parent == right_record.parent
+                and left_record.pre < right_record.pre)
+
+    # -- I/O charging -----------------------------------------------------------------
+
+    def charge_structure_scan(self) -> None:
+        """One sequential read of the structure segment (NoK's cost)."""
+        if self.pages is not None and self.structure_segment is not None:
+            self.pages.sequential_scan(self.structure_segment)
+
+    def charge_postings(self, tag: str) -> list:
+        """Fetch a posting list, paying the sequential read."""
+        return self.tag_index.postings(tag, charge=self.pages is not None)
+
+    def charge_random_node(self, preorder: int) -> None:
+        """One random access to a node record (navigational traversal /
+        index verification cost): a 32-byte DOM-style record."""
+        if self.pages is not None and self.dom_segment is not None:
+            self.dom_segment.touch(preorder * 32, 32)
+
+
+def single_output_vertex(pattern: PatternGraph) -> PatternVertex:
+    """The pattern's unique output vertex; joins-based strategies and the
+    planner currently require exactly one."""
+    outputs = pattern.output_vertices()
+    if len(outputs) != 1:
+        raise ExecutionError(
+            f"strategy requires exactly one output vertex, "
+            f"pattern has {len(outputs)}")
+    return outputs[0]

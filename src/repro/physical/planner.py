@@ -1,0 +1,141 @@
+"""The physical planner: lower a pattern graph to a strategy.
+
+Strategies (the names the engine and benchmarks use):
+
+=================  ======================================================
+``nok``            single-scan NoK matcher (NoK patterns only)
+``partitioned``    NoK partitions + structural joins (any pattern)
+``structural-join``one stack-tree join per edge
+``pathstack``      holistic path join (linear patterns)
+``twigstack``      holistic twig join (branching patterns)
+``navigational``   node-at-a-time traversal (commercial stand-in)
+``index-scan``     content B+ tree probe + verification
+``auto``           cost-model choice (:class:`repro.algebra.cost.CostModel`)
+=================  ======================================================
+
+``auto`` consults the cost model, then falls back gracefully when the
+chosen strategy cannot express the pattern (e.g. PathStack on a twig).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExecutionError, PlanError
+from repro.algebra.cost import CostModel
+from repro.algebra.pattern_graph import PatternGraph
+from repro.physical.base import MatchRuntime, OperatorStats
+from repro.physical.indexscan import IndexScanMatcher
+from repro.physical.navigational import NavigationalMatcher
+from repro.physical.nok import NoKMatcher
+from repro.physical.partition import PartitionedMatcher
+from repro.physical.pathstack import PathStackJoin
+from repro.physical.structural_join import BinaryJoinMatcher
+from repro.physical.twigstack import TwigStackJoin
+
+__all__ = ["PhysicalPlanner", "STRATEGIES"]
+
+STRATEGIES = ("nok", "partitioned", "structural-join", "pathstack",
+              "twigstack", "navigational", "index-scan", "auto")
+
+
+class PhysicalPlanner:
+    """Chooses and runs a physical strategy for pattern matching."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model
+
+    def choose(self, pattern: PatternGraph) -> str:
+        """The strategy ``auto`` resolves to for this pattern."""
+        if self.cost_model is None:
+            return "nok" if pattern.is_nok() else "partitioned"
+        choice = self.cost_model.cheapest_strategy(pattern)
+        if choice == "structural-join" and pattern.is_nok():
+            choice = "nok"  # cost ties favour the native scan
+        if choice == "twigstack" and self._is_linear(pattern):
+            choice = "pathstack"
+        return choice
+
+    def match(self, pattern: PatternGraph, runtime: MatchRuntime,
+              root: int = 0, strategy: str = "auto"
+              ) -> tuple[list[int], OperatorStats, str]:
+        """Evaluate ``pattern``; returns (matches, stats, strategy used).
+
+        Output is the distinct pre-order ids of the single output vertex
+        (multi-output patterns run through NoK/partitioned only).
+        """
+        if strategy not in STRATEGIES:
+            raise PlanError(f"unknown strategy {strategy!r}")
+        if strategy == "auto":
+            strategy = self.choose(pattern)
+        try:
+            return self._dispatch(pattern, runtime, root, strategy)
+        except ExecutionError:
+            if strategy in ("nok", "partitioned"):
+                raise
+            # The costed choice could not express the pattern
+            # (multi-output, branching for pathstack, ...): fall back.
+            fallback = "nok" if pattern.is_nok() else "partitioned"
+            return self._dispatch(pattern, runtime, root, fallback)
+
+    def match_bindings(self, pattern: PatternGraph, runtime: MatchRuntime,
+                       root: int = 0) -> tuple[list[dict], OperatorStats]:
+        """Full output-vertex bindings (tuples) — always via the NoK
+        machinery, which natively produces them."""
+        if pattern.is_nok():
+            matcher = NoKMatcher(pattern, anchored=True)
+            bindings = matcher.run(runtime, root=root)
+            return bindings, matcher.stats
+        partitioned = PartitionedMatcher(pattern)
+        output_ids = {v.vertex_id for v in pattern.output_vertices()}
+        tuples = partitioned.partition_tuples(runtime, root)
+        bindings = [{vid: node for vid, node in binding.items()
+                     if vid in output_ids} for binding in tuples]
+        unique: dict[tuple, dict] = {}
+        for binding in bindings:
+            unique.setdefault(tuple(sorted(binding.items())), binding)
+        return list(unique.values()), partitioned.stats
+
+    def _dispatch(self, pattern: PatternGraph, runtime: MatchRuntime,
+                  root: int, strategy: str
+                  ) -> tuple[list[int], OperatorStats, str]:
+        if strategy == "nok":
+            if not pattern.is_nok():
+                matcher = PartitionedMatcher(pattern)
+                return (matcher.run(runtime, root=root), matcher.stats,
+                        "partitioned")
+            nok = NoKMatcher(pattern, anchored=True)
+            bindings = nok.run(runtime, root=root)
+            output_ids = [v.vertex_id for v in pattern.output_vertices()]
+            if len(output_ids) != 1:
+                raise ExecutionError("planner.match needs a single output; "
+                                     "use match_bindings")
+            matches = sorted({binding[output_ids[0]]
+                              for binding in bindings
+                              if output_ids[0] in binding})
+            nok.stats.solutions = len(matches)
+            return matches, nok.stats, "nok"
+        if strategy == "partitioned":
+            matcher = PartitionedMatcher(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "structural-join":
+            matcher = BinaryJoinMatcher(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "pathstack":
+            matcher = PathStackJoin(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "twigstack":
+            matcher = TwigStackJoin(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "navigational":
+            matcher = NavigationalMatcher(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "index-scan":
+            matcher = IndexScanMatcher(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        raise PlanError(f"unknown strategy {strategy!r}")  # pragma: no cover
+
+    @staticmethod
+    def _is_linear(pattern: PatternGraph) -> bool:
+        return all(len(pattern.children_of(vid)) <= 1
+                   for vid in pattern.vertices)

@@ -1,0 +1,53 @@
+"""Physical storage structures (Section 4 of the paper).
+
+The centrepiece is the **succinct storage scheme**: tree structure is
+linearised in pre-order as a balanced-parentheses sequence with a parallel
+tag array, and element contents are stored *separately* in a content store
+(Section 4.2: "schema information ... and data information ... are stored
+separately").  Baselines from the extended-relational world (interval /
+pre-post-level encoding, shredded node tables) live here too, as does the
+access-method substrate they share: a B+ tree and a counting page manager
+that stands in for disk I/O.
+
+Modules
+-------
+
+``bitvector``        rank/select bitvector (the succinct primitive)
+``balanced_parens``  navigation over a BP sequence (findclose, enclose, ...)
+``succinct``         :class:`SuccinctDocument` — BP + tags + content
+``content``          the separated content store with a value index
+``tagindex``         tag -> pre-order postings (input lists for joins)
+``interval``         pre/post/level interval encoding (relational baseline)
+``relational``       shredded node table for the extended-relational path
+``btree``            a from-scratch B+ tree
+``pages``            page manager + LRU buffer pool with I/O counters
+``stats``            document statistics feeding the cost model
+"""
+
+from repro.storage.balanced_parens import BalancedParens
+from repro.storage.bitvector import BitVector, BitVectorBuilder
+from repro.storage.btree import BPlusTree
+from repro.storage.content import ContentStore
+from repro.storage.interval import IntervalDocument, IntervalNode
+from repro.storage.pages import BufferPool, IOCounters, PageManager
+from repro.storage.relational import NodeTable
+from repro.storage.stats import DocumentStatistics
+from repro.storage.succinct import SuccinctDocument
+from repro.storage.tagindex import TagIndex
+
+__all__ = [
+    "BalancedParens",
+    "BitVector",
+    "BitVectorBuilder",
+    "BPlusTree",
+    "BufferPool",
+    "ContentStore",
+    "DocumentStatistics",
+    "IntervalDocument",
+    "IntervalNode",
+    "IOCounters",
+    "NodeTable",
+    "PageManager",
+    "SuccinctDocument",
+    "TagIndex",
+]

@@ -1,0 +1,220 @@
+"""An immutable bitvector with rank and select support.
+
+This is the primitive underneath the balanced-parentheses representation of
+the succinct storage scheme.  Bits are packed into 64-bit words; a prefix
+popcount directory gives
+
+* ``rank1(i)`` / ``rank0(i)`` in O(1),
+* ``select1(k)`` / ``select0(k)`` in O(log n) by binary search on the
+  directory plus an in-word scan.
+
+The space overhead of the directory is one 64-bit count per word — the
+pure-Python analogue of the o(n) directory in the literature.  The
+:meth:`BitVector.size_bytes` accounting used by experiment E1 charges the
+*information-theoretic* payload (n bits) plus the directory, mirroring how
+the paper accounts for its structure storage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["BitVector", "BitVectorBuilder"]
+
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class BitVectorBuilder:
+    """Accumulates bits (in order) and builds an immutable
+    :class:`BitVector`."""
+
+    __slots__ = ("_words", "_length", "_current", "_filled")
+
+    def __init__(self):
+        self._words: list[int] = []
+        self._length = 0
+        self._current = 0
+        self._filled = 0
+
+    def append(self, bit: int) -> None:
+        """Append a single bit (``0``/``1`` or a boolean)."""
+        if bit:
+            self._current |= 1 << self._filled
+        self._filled += 1
+        self._length += 1
+        if self._filled == WORD_BITS:
+            self._words.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit of ``bits``."""
+        for bit in bits:
+            self.append(bit)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def build(self) -> "BitVector":
+        """Finish and return the immutable bitvector."""
+        words = list(self._words)
+        if self._filled:
+            words.append(self._current)
+        return BitVector(words, self._length)
+
+
+class BitVector:
+    """Immutable sequence of bits with O(1) rank and O(log n) select.
+
+    Construct through :class:`BitVectorBuilder` or
+    :meth:`BitVector.from_bits`.
+    """
+
+    __slots__ = ("_words", "_length", "_cum")
+
+    def __init__(self, words: list[int], length: int):
+        if length > len(words) * WORD_BITS:
+            raise ValueError("length exceeds supplied words")
+        self._words = words
+        self._length = length
+        # _cum[k] = number of set bits in words[:k]; len == len(words) + 1.
+        cum = [0] * (len(words) + 1)
+        total = 0
+        for index, word in enumerate(words):
+            total += word.bit_count()
+            cum[index + 1] = total
+        self._cum = cum
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build a bitvector from an iterable of 0/1 values."""
+        builder = BitVectorBuilder()
+        builder.extend(bits)
+        return builder.build()
+
+    # -- basics -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0 or index >= self._length:
+            raise IndexError(f"bit index {index} out of range")
+        return (self._words[index // WORD_BITS] >> (index % WORD_BITS)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._length):
+            yield self[index]
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._cum[-1]
+
+    @property
+    def zeros(self) -> int:
+        """Total number of clear bits."""
+        return self._length - self._cum[-1]
+
+    # -- rank ----------------------------------------------------------------
+
+    def rank1(self, index: int) -> int:
+        """Number of set bits in positions ``[0, index)``.
+
+        ``index`` may equal ``len(self)`` (full-prefix rank).
+        """
+        if index < 0 or index > self._length:
+            raise IndexError(f"rank position {index} out of range")
+        word_index, offset = divmod(index, WORD_BITS)
+        partial = 0
+        if offset:
+            partial = (self._words[word_index]
+                       & ((1 << offset) - 1)).bit_count()
+        return self._cum[word_index] + partial
+
+    def rank0(self, index: int) -> int:
+        """Number of clear bits in positions ``[0, index)``."""
+        if index < 0 or index > self._length:
+            raise IndexError(f"rank position {index} out of range")
+        return index - self.rank1(index)
+
+    # -- select ---------------------------------------------------------------
+
+    def select1(self, k: int) -> int:
+        """Position of the ``k``-th set bit (0-based).
+
+        Raises ``IndexError`` when there are fewer than ``k + 1`` set bits.
+        """
+        if k < 0 or k >= self.ones:
+            raise IndexError(f"select1({k}) out of range (ones={self.ones})")
+        word_index = self._find_word(self._cum, k)
+        remaining = k - self._cum[word_index]
+        return (word_index * WORD_BITS
+                + _select_in_word(self._words[word_index], remaining))
+
+    def select0(self, k: int) -> int:
+        """Position of the ``k``-th clear bit (0-based)."""
+        if k < 0 or k >= self.zeros:
+            raise IndexError(f"select0({k}) out of range (zeros={self.zeros})")
+        # Binary search on zero-rank = index*WORD_BITS - cum[index].
+        low, high = 0, len(self._words)
+        while low < high:
+            mid = (low + high) // 2
+            zeros_before = mid * WORD_BITS - self._cum[mid]
+            if zeros_before <= k:
+                low = mid + 1
+            else:
+                high = mid
+        word_index = low - 1
+        remaining = k - (word_index * WORD_BITS - self._cum[word_index])
+        inverted = (~self._words[word_index]) & _WORD_MASK
+        return word_index * WORD_BITS + _select_in_word(inverted, remaining)
+
+    @staticmethod
+    def _find_word(cum: list[int], k: int) -> int:
+        """Largest index with ``cum[index] <= k`` (standard select search)."""
+        low, high = 0, len(cum) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if cum[mid] <= k:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    # -- accounting -------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Bytes charged for this structure: the packed bits plus the
+        rank directory (8 bytes per word)."""
+        payload = (self._length + 7) // 8
+        directory = 8 * len(self._cum)
+        return payload + directory
+
+    def __repr__(self) -> str:
+        return f"<BitVector length={self._length} ones={self.ones}>"
+
+
+def _select_in_word(word: int, k: int) -> int:
+    """Position of the ``k``-th set bit inside a 64-bit ``word``.
+
+    Narrows byte-by-byte using popcounts, then scans the final byte.
+    """
+    offset = 0
+    while True:
+        byte = word & 0xFF
+        count = byte.bit_count()
+        if k < count:
+            break
+        k -= count
+        word >>= 8
+        offset += 8
+    position = 0
+    while True:
+        if byte & 1:
+            if k == 0:
+                return offset + position
+            k -= 1
+        byte >>= 1
+        position += 1

@@ -1,0 +1,305 @@
+"""A from-scratch B+ tree.
+
+Used as the content-based index the paper builds "only on the content
+information" (Section 4.2): keys are content strings (or any orderable
+Python values), values are lists of pre-order node ids.  Supports bulk
+loading from sorted pairs, point and range search, and insertion.
+
+The tree charges I/O through an optional
+:class:`~repro.storage.pages.Segment`: every node visited on a root-to-leaf
+walk or a leaf-chain scan is one page touch, which is exactly the classic
+cost model for B+ trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.storage.pages import Segment
+
+__all__ = ["BPlusTree"]
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "node_id")
+
+    def __init__(self, node_id: int):
+        self.keys: list[Any] = []
+        self.values: list[list[Any]] = []
+        self.next: Optional["_Leaf"] = None
+        self.node_id = node_id
+
+
+class _Internal:
+    __slots__ = ("keys", "children", "node_id")
+
+    def __init__(self, node_id: int):
+        self.keys: list[Any] = []      # separators; len(children) == len(keys)+1
+        self.children: list[Any] = []
+        self.node_id = node_id
+
+
+class BPlusTree:
+    """A B+ tree mapping orderable keys to lists of values.
+
+    ``order`` is the maximum number of keys per node.  Duplicate keys are
+    collapsed into one entry whose value list grows — the usual layout for
+    a secondary index.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER,
+                 segment: Optional[Segment] = None):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self.order = order
+        self.segment = segment
+        self._next_node = 0
+        self._root: Any = self._new_leaf()
+        self._height = 1
+        self._entries = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def _new_leaf(self) -> _Leaf:
+        leaf = _Leaf(self._next_node)
+        self._next_node += 1
+        return leaf
+
+    def _new_internal(self) -> _Internal:
+        node = _Internal(self._next_node)
+        self._next_node += 1
+        return node
+
+    @classmethod
+    def bulk_load(cls, pairs: Iterable[tuple[Any, Any]],
+                  order: int = DEFAULT_ORDER,
+                  segment: Optional[Segment] = None) -> "BPlusTree":
+        """Build from ``(key, value)`` pairs sorted by key.
+
+        Leaves are packed to ~⅔ fill (leaving room for inserts), then the
+        index levels are built bottom-up.
+        """
+        tree = cls(order=order, segment=segment)
+        fill = max(2, (2 * order) // 3)
+        leaves: list[_Leaf] = []
+        current = tree._new_leaf()
+        previous_key: Any = None
+        for key, value in pairs:
+            if current.keys and key == current.keys[-1]:
+                current.values[-1].append(value)
+                tree._entries += 1
+                continue
+            if previous_key is not None and key < previous_key:
+                raise ValueError("bulk_load input must be sorted by key")
+            previous_key = key
+            if len(current.keys) >= fill:
+                leaves.append(current)
+                new = tree._new_leaf()
+                current.next = new
+                current = new
+            current.keys.append(key)
+            current.values.append([value])
+            tree._entries += 1
+        leaves.append(current)
+
+        # Build internal levels bottom-up.
+        level: list[Any] = leaves
+        height = 1
+        while len(level) > 1:
+            parents: list[_Internal] = []
+            group: list[Any] = []
+            for node in level:
+                group.append(node)
+                if len(group) == fill + 1:
+                    parents.append(tree._make_parent(group))
+                    group = []
+            if group:
+                if len(group) == 1 and parents:
+                    # Merge a lone trailing child into the last parent.
+                    last = parents[-1]
+                    last.keys.append(tree._smallest_key(group[0]))
+                    last.children.append(group[0])
+                else:
+                    parents.append(tree._make_parent(group))
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    def _make_parent(self, children: list[Any]) -> _Internal:
+        parent = self._new_internal()
+        parent.children = list(children)
+        parent.keys = [self._smallest_key(child) for child in children[1:]]
+        return parent
+
+    @staticmethod
+    def _smallest_key(node: Any) -> Any:
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    # -- basics ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def height(self) -> int:
+        """Number of levels (leaf-only tree = 1)."""
+        return self._height
+
+    def _charge(self, node: Any) -> None:
+        if self.segment is not None:
+            page_size = self.segment.manager.page_size
+            self.segment.touch(node.node_id * page_size, 1)
+
+    # -- search -----------------------------------------------------------------------
+
+    def _descend(self, key: Any) -> _Leaf:
+        node = self._root
+        self._charge(node)
+        while isinstance(node, _Internal):
+            index = _upper_bound(node.keys, key)
+            node = node.children[index]
+            self._charge(node)
+        return node
+
+    def search(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._descend(key)
+        index = _lower_bound(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range(self, low: Any, high: Any,
+              include_low: bool = True,
+              include_high: bool = True) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` (bounds
+        adjustable), walking the leaf chain."""
+        leaf: Optional[_Leaf] = self._descend(low)
+        index = _lower_bound(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high or (key == high and not include_high):
+                    return
+                if key > low or (key == low and include_low):
+                    for value in leaf.values[index]:
+                        yield key, value
+                index += 1
+            leaf = leaf.next
+            index = 0
+            if leaf is not None:
+                self._charge(leaf)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Every ``(key, value)`` pair in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node
+        while leaf is not None:
+            for key, values in zip(leaf.keys, leaf.values):
+                for value in values:
+                    yield key, value
+            leaf = leaf.next
+
+    # -- insert -------------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one ``(key, value)`` pair, splitting nodes as needed."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            root = self._new_internal()
+            root.keys = [separator]
+            root.children = [self._root, right]
+            self._root = root
+            self._height += 1
+        self._entries += 1
+
+    def _insert_into(self, node: Any, key: Any,
+                     value: Any) -> Optional[tuple[Any, Any]]:
+        self._charge(node)
+        if isinstance(node, _Leaf):
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+            if len(node.keys) <= self.order:
+                return None
+            middle = len(node.keys) // 2
+            right = self._new_leaf()
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            right.next = node.next
+            node.next = right
+            return right.keys[0], right
+        index = _upper_bound(node.keys, key)
+        split = self._insert_into(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right_child = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right_child)
+        if len(node.keys) <= self.order:
+            return None
+        middle = len(node.keys) // 2
+        right = self._new_internal()
+        push_up = node.keys[middle]
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return push_up, right
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Total tree nodes (each is one page in the cost model)."""
+        count = 0
+        queue: list[Any] = [self._root]
+        while queue:
+            node = queue.pop()
+            count += 1
+            if isinstance(node, _Internal):
+                queue.extend(node.children)
+        return count
+
+    def size_bytes(self, key_bytes: int = 16, value_bytes: int = 4) -> int:
+        """Approximate bytes: per entry one key + value, plus per-node
+        child-pointer overhead."""
+        return (self._entries * (key_bytes + value_bytes)
+                + self.node_count() * 16)
+
+
+def _lower_bound(keys: list[Any], key: Any) -> int:
+    """First index with ``keys[index] >= key``."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _upper_bound(keys: list[Any], key: Any) -> int:
+    """First index with ``keys[index] > key``."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] <= key:
+            low = mid + 1
+        else:
+            high = mid
+    return low

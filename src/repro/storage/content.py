@@ -1,0 +1,91 @@
+"""The separated content store.
+
+Section 4.2: "schema information (tree structure consisting of tags) and
+data information (element contents attached to the leaves of the subject
+tree) are stored separately ... content-based indexes (such as B+ trees and
+suffix trees) can be created only on the content information".
+
+A :class:`ContentStore` is an append-only string heap: each entry is the
+character data of one leaf (text node, attribute value, comment, PI data)
+together with the pre-order id of the node that *owns* it.  Values are
+concatenated into a single buffer with an offset table, which is both the
+realistic physical layout and what the size accounting of experiment E1
+charges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["ContentStore"]
+
+
+class ContentStore:
+    """Append-only heap of content strings, addressed by content id."""
+
+    __slots__ = ("_buffer", "_offsets", "_owners")
+
+    def __init__(self):
+        self._buffer: list[str] = []
+        # _offsets[i] is the start of entry i in the concatenated buffer;
+        # a final sentinel holds the total length.
+        self._offsets: list[int] = [0]
+        self._owners: list[int] = []
+
+    def append(self, value: str, owner: int) -> int:
+        """Store ``value`` for the node with pre-order id ``owner``;
+        returns the new content id."""
+        self._buffer.append(value)
+        self._offsets.append(self._offsets[-1] + len(value))
+        self._owners.append(owner)
+        return len(self._owners) - 1
+
+    def get(self, content_id: int) -> str:
+        """The stored string for ``content_id``."""
+        return self._buffer[content_id]
+
+    def owner(self, content_id: int) -> int:
+        """Pre-order id of the node owning ``content_id``."""
+        return self._owners[content_id]
+
+    def set_owner(self, content_id: int, owner: int) -> None:
+        """Re-point an entry at a new owner (updates renumber nodes)."""
+        self._owners[content_id] = owner
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    def __iter__(self) -> Iterator[tuple[int, str, int]]:
+        """Yields ``(content_id, value, owner)`` triples in id order."""
+        for content_id, value in enumerate(self._buffer):
+            yield content_id, value, self._owners[content_id]
+
+    def entry_length(self, content_id: int) -> int:
+        """Character length of the stored value (from the offset table)."""
+        return self._offsets[content_id + 1] - self._offsets[content_id]
+
+    def find_exact(self, value: str) -> list[int]:
+        """Owner pre-order ids of entries equal to ``value`` (linear scan;
+        the indexed path goes through the B+ tree built by the engine)."""
+        return [self._owners[i] for i, stored in enumerate(self._buffer)
+                if stored == value]
+
+    def sorted_entries(self) -> list[tuple[str, int]]:
+        """``(value, owner)`` pairs sorted by value — bulk-load input for
+        the content B+ tree."""
+        pairs = [(value, self._owners[i])
+                 for i, value in enumerate(self._buffer)]
+        pairs.sort()
+        return pairs
+
+    # -- accounting ----------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Bytes charged: UTF-8 payload plus a 4-byte offset per entry and
+        a 4-byte owner reference per entry."""
+        payload = sum(len(value.encode("utf-8")) for value in self._buffer)
+        return payload + 4 * (len(self._offsets) + len(self._owners))
+
+    def __repr__(self) -> str:
+        return f"<ContentStore entries={len(self._owners)}>"
+

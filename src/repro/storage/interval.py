@@ -1,0 +1,340 @@
+"""Interval (pre/post/level) encoding — the extended-relational baseline.
+
+The paper contrasts its succinct scheme with the extended-relational
+approach, which is "heavily dependent on the physical level representation
+(e.g., interval encoding [1]) of XML data" and whose shredding "store[s]
+them without considering their structural relationships" (Section 4.1).
+
+:class:`IntervalDocument` shreds a document into one record per node with
+the classic *(pre, post, level, parent)* labels.  Structural predicates
+become label arithmetic::
+
+    a is an ancestor of d   iff   a.pre < d.pre  and  d.post < a.post
+    p is the parent of c    iff   ancestor and p.level + 1 == c.level
+
+Pre-order ids are assigned identically to
+:class:`~repro.storage.succinct.SuccinctDocument` (document node 0,
+attribute children before element content), so results from the two stores
+are directly comparable in the differential tests.
+
+The known pain point reproduced for experiment E7: inserting a subtree
+forces relabelling of every node whose *pre* follows the insertion point
+and every ancestor's *post* — Θ(n) in the worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.xml import model
+from repro.xml.events import (
+    Characters,
+    CommentEvent,
+    EndDocument,
+    EndElement,
+    Event,
+    PIEvent,
+    StartDocument,
+    StartElement,
+    events_from_tree,
+)
+from repro.storage.succinct import (
+    COMMENT_TAG,
+    DOCUMENT_TAG,
+    KIND_ATTRIBUTE,
+    KIND_COMMENT,
+    KIND_DOCUMENT,
+    KIND_ELEMENT,
+    KIND_PI,
+    KIND_TEXT,
+    TEXT_TAG,
+)
+
+__all__ = ["IntervalNode", "IntervalDocument"]
+
+
+@dataclass
+class IntervalNode:
+    """One shredded node record.
+
+    ``pre`` and ``end`` delimit the subtree in pre-order positions
+    (``end`` is the pre id of the last descendant — the interval encoding
+    of DeHaan et al. [1]); ``post`` is the post-order rank kept for
+    operators phrased in the pre/post plane.
+    """
+
+    pre: int
+    post: int
+    end: int
+    level: int
+    parent: int           # pre id of the parent; -1 for the document node
+    tag: str
+    kind: int
+    value: Optional[str]  # attached content for leaf kinds
+
+    def contains(self, other: "IntervalNode") -> bool:
+        """Proper ancestorship by interval arithmetic."""
+        return self.pre < other.pre <= self.end
+
+    def is_parent_of(self, other: "IntervalNode") -> bool:
+        """Parent-child by interval + level arithmetic."""
+        return self.contains(other) and self.level + 1 == other.level
+
+
+class IntervalDocument:
+    """A pre/post/level shredded document (records in pre order)."""
+
+    def __init__(self):
+        self.nodes: list[IntervalNode] = []
+        self.uri = ""
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "IntervalDocument":
+        """Single-pass shredding of a parse-event stream."""
+        document = cls()
+        nodes = document.nodes
+        post_counter = 0
+        stack: list[int] = []      # open node pre ids
+        pending_text: list[str] = []
+
+        def open_node(tag: str, kind: int,
+                      value: Optional[str] = None) -> int:
+            pre = len(nodes)
+            parent = stack[-1] if stack else -1
+            nodes.append(IntervalNode(pre=pre, post=-1, end=-1,
+                                      level=len(stack), parent=parent,
+                                      tag=tag, kind=kind, value=value))
+            return pre
+
+        def close_node(pre: int) -> None:
+            nonlocal post_counter
+            nodes[pre].post = post_counter
+            nodes[pre].end = len(nodes) - 1
+            post_counter += 1
+
+        def flush_text() -> None:
+            if pending_text:
+                pre = open_node(TEXT_TAG, KIND_TEXT, "".join(pending_text))
+                close_node(pre)
+                pending_text.clear()
+
+        for event in events:
+            if isinstance(event, StartElement):
+                flush_text()
+                pre = open_node(event.tag, KIND_ELEMENT)
+                stack.append(pre)
+                for name, value in event.attributes:
+                    attr = open_node("@" + name, KIND_ATTRIBUTE, value)
+                    close_node(attr)
+            elif isinstance(event, EndElement):
+                flush_text()
+                close_node(stack.pop())
+            elif isinstance(event, Characters):
+                pending_text.append(event.value)
+            elif isinstance(event, CommentEvent):
+                flush_text()
+                close_node(open_node(COMMENT_TAG, KIND_COMMENT, event.value))
+            elif isinstance(event, PIEvent):
+                flush_text()
+                close_node(open_node("?" + event.target, KIND_PI,
+                                     event.data))
+            elif isinstance(event, StartDocument):
+                document.uri = event.uri
+                stack.append(open_node(DOCUMENT_TAG, KIND_DOCUMENT))
+            elif isinstance(event, EndDocument):
+                flush_text()
+                close_node(stack.pop())
+        return document
+
+    @classmethod
+    def from_document(cls, tree: model.Document) -> "IntervalDocument":
+        """Shred an in-memory tree."""
+        return cls.from_events(events_from_tree(tree))
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, pre: int) -> IntervalNode:
+        """The record with pre-order id ``pre``."""
+        if pre < 0 or pre >= len(self.nodes):
+            raise StorageError(f"no node with pre-order id {pre}")
+        return self.nodes[pre]
+
+    def by_tag(self, tag: str) -> list[IntervalNode]:
+        """All records with the given tag, in document (pre) order —
+        the input lists structural-join algorithms consume."""
+        return [record for record in self.nodes if record.tag == tag]
+
+    def elements(self, tag: Optional[str] = None) -> list[IntervalNode]:
+        """Element records, optionally restricted to one tag."""
+        return [record for record in self.nodes
+                if record.kind == KIND_ELEMENT
+                and (tag is None or record.tag == tag)]
+
+    def children_of(self, pre: int) -> Iterator[IntervalNode]:
+        """Child records in document order (skips to each child's end)."""
+        end = self.node(pre).end
+        index = pre + 1
+        while index <= end:
+            record = self.nodes[index]
+            if record.parent == pre:
+                yield record
+            index = record.end + 1 if record.parent == pre else index + 1
+
+    def string_value(self, pre: int) -> str:
+        """Concatenated text content of the subtree at ``pre``."""
+        record = self.node(pre)
+        if record.kind not in (KIND_ELEMENT, KIND_DOCUMENT):
+            return record.value or ""
+        parts: list[str] = []
+        for index in range(pre + 1, record.end + 1):
+            inner = self.nodes[index]
+            if inner.kind == KIND_TEXT:
+                parts.append(inner.value or "")
+        return "".join(parts)
+
+    # -- updates (experiment E7) -----------------------------------------------------
+
+    def insert_subtree(self, parent: int, position: int,
+                       subtree: model.Element) -> dict[str, int]:
+        """Insert ``subtree`` as the ``position``-th element/text child of
+        ``parent`` and relabel.  Returns ``{"relabelled": n, ...}`` — the
+        cost interval encoding pays that the succinct splice avoids."""
+        target = self.node(parent)
+        if target.kind not in (KIND_ELEMENT, KIND_DOCUMENT):
+            raise StorageError("can only insert under an element")
+        children = [record for record in self.children_of(parent)
+                    if record.kind != KIND_ATTRIBUTE]
+        if position < 0 or position > len(children):
+            raise StorageError(f"child position {position} out of range")
+
+        # Shred the new subtree (standalone labels, patched below).
+        fragment = IntervalDocument.from_events(
+            events_from_tree(_wrap(subtree)))
+        new_records = fragment.nodes[1:]   # drop the fragment document node
+        for record in new_records:
+            record.parent -= 1
+            record.level -= 1
+        inserted = len(new_records)
+
+        if position == len(children):
+            insert_pre = target.pre + _subtree_span(self, target)
+        else:
+            insert_pre = children[position].pre
+        # The smallest post rank that must shift: the parent closes after
+        # the new subtree, as does everything at or after insert_pre.
+        insert_post = min((record.post for record in self.nodes
+                           if record.pre >= insert_pre),
+                          default=target.post)
+        insert_post = min(insert_post, target.post)
+
+        relabelled = 0
+        for record in self.nodes:
+            changed = False
+            if record.pre >= insert_pre:
+                record.pre += inserted
+                changed = True
+            if record.post >= insert_post:
+                record.post += inserted
+                changed = True
+            if record.end >= insert_pre:
+                # Subtree starts at or after the splice: whole interval moves.
+                record.end += inserted
+                changed = True
+            elif record.post >= insert_post:
+                # Node is still open at the splice point (an ancestor of
+                # the insertion): its subtree grows to cover the new nodes.
+                record.end += inserted
+                changed = True
+            if record.parent >= insert_pre:
+                record.parent += inserted
+                changed = True
+            if changed:
+                relabelled += 1
+
+        base_level = target.level + 1
+        for offset, record in enumerate(new_records):
+            record.pre = insert_pre + offset
+            record.post += insert_post
+            record.end = record.end - 1 + insert_pre
+            record.level += base_level
+            if record.parent < 0:
+                record.parent = target.pre
+            else:
+                record.parent += insert_pre
+        self.nodes[insert_pre:insert_pre] = new_records
+        return {"relabelled": relabelled, "inserted_nodes": inserted}
+
+    def delete_subtree(self, pre: int) -> dict[str, int]:
+        """Remove the subtree at ``pre`` and relabel everything after it
+        plus every ancestor (the global cost insertions also pay)."""
+        import bisect
+
+        record = self.node(pre)
+        if pre == 0:
+            raise StorageError("cannot delete the document node")
+        removed = record.end - record.pre + 1
+        removed_posts = sorted(r.post
+                               for r in self.nodes[pre:record.end + 1])
+        del self.nodes[pre:record.end + 1]
+
+        relabelled = 0
+        for survivor in self.nodes:
+            changed = False
+            if survivor.pre >= pre:
+                survivor.pre -= removed
+                changed = True
+            if survivor.end >= pre:
+                survivor.end -= removed
+                changed = True
+            post_shift = bisect.bisect_left(removed_posts, survivor.post)
+            if post_shift:
+                survivor.post -= post_shift
+                changed = True
+            if survivor.parent >= pre:
+                survivor.parent -= removed
+                changed = True
+            if changed:
+                relabelled += 1
+        return {"removed_nodes": removed, "relabelled": relabelled}
+
+    # -- accounting -----------------------------------------------------------------
+
+    def size_bytes(self) -> dict[str, int]:
+        """Bytes charged per the usual relational layout: pre, post,
+        parent as 4-byte integers, level 2 bytes, tag id 2 bytes, a 4-byte
+        value reference, plus the value heap and the tag dictionary."""
+        per_record = 4 + 4 + 4 + 2 + 2 + 4
+        records = per_record * len(self.nodes)
+        values = sum(len((record.value or "").encode("utf-8"))
+                     for record in self.nodes)
+        tags = sum(len(tag.encode("utf-8")) + 1
+                   for tag in {record.tag for record in self.nodes})
+        return {
+            "records": records,
+            "values": values,
+            "tag_dictionary": tags,
+            "total": records + values + tags,
+        }
+
+    def __repr__(self) -> str:
+        return f"<IntervalDocument nodes={len(self.nodes)}>"
+
+
+def _wrap(element: model.Element) -> model.Document:
+    """Wrap a detached element in a throwaway document for shredding."""
+    import copy
+    document = model.Document()
+    document.append(copy.deepcopy(element))
+    return document
+
+
+def _subtree_span(document: IntervalDocument, record: IntervalNode) -> int:
+    """Number of records in the subtree rooted at ``record``."""
+    return record.end - record.pre + 1

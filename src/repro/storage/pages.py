@@ -1,0 +1,171 @@
+"""Page manager and LRU buffer pool with I/O counters.
+
+The paper argues about *I/O cost*: a single sequential scan of the succinct
+structure versus many index probes and list merges for join-based plans.
+This environment has no real disk, so — per the substitution table in
+DESIGN.md — we count page accesses instead of timing a device.
+
+A :class:`PageManager` hands out named **segments** (byte extents standing
+in for files: the BP bits, the tag array, each tag's posting list, B+ tree
+levels...).  Operators *touch* byte ranges of a segment; a touch resolves
+to page ids, which hit or miss an LRU :class:`BufferPool`.  Misses count as
+page reads.  The resulting counters are what the E-series benchmarks
+report alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["IOCounters", "BufferPool", "PageManager", "Segment"]
+
+DEFAULT_PAGE_SIZE = 4096
+DEFAULT_POOL_PAGES = 256
+
+
+@dataclass
+class IOCounters:
+    """Cumulative I/O statistics for one page manager."""
+
+    page_reads: int = 0       # buffer-pool misses (would hit the device)
+    page_writes: int = 0      # dirty pages written back
+    pool_hits: int = 0        # touches satisfied from the pool
+    logical_touches: int = 0  # byte-range touches requested by operators
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.pool_hits = 0
+        self.logical_touches = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (for benchmark rows)."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "pool_hits": self.pool_hits,
+            "logical_touches": self.logical_touches,
+        }
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of (segment, page) ids."""
+
+    __slots__ = ("capacity", "_pages", "counters")
+
+    def __init__(self, capacity: int = DEFAULT_POOL_PAGES,
+                 counters: IOCounters | None = None):
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one page")
+        self.capacity = capacity
+        # key -> dirty flag; OrderedDict gives O(1) LRU.
+        self._pages: OrderedDict[tuple[int, int], bool] = OrderedDict()
+        self.counters = counters if counters is not None else IOCounters()
+
+    def access(self, segment_id: int, page_id: int,
+               write: bool = False) -> bool:
+        """Access one page; returns True on a pool hit."""
+        key = (segment_id, page_id)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            if write:
+                self._pages[key] = True
+            self.counters.pool_hits += 1
+            return True
+        self.counters.page_reads += 1
+        self._pages[key] = write
+        if len(self._pages) > self.capacity:
+            _, dirty = self._pages.popitem(last=False)
+            if dirty:
+                self.counters.page_writes += 1
+        return False
+
+    def flush(self) -> None:
+        """Write back every dirty page (counted) and empty the pool."""
+        for dirty in self._pages.values():
+            if dirty:
+                self.counters.page_writes += 1
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+@dataclass
+class Segment:
+    """A named byte extent owned by a :class:`PageManager`."""
+
+    manager: "PageManager"
+    segment_id: int
+    name: str
+    length: int = 0
+
+    def touch(self, offset: int, length: int = 1, write: bool = False) -> None:
+        """Record an access to ``[offset, offset + length)`` bytes."""
+        self.manager.touch(self, offset, length, write=write)
+
+    def page_span(self, offset: int, length: int) -> range:
+        """Page ids covered by the byte range."""
+        page_size = self.manager.page_size
+        first = offset // page_size
+        last = max(offset, offset + length - 1) // page_size
+        return range(first, last + 1)
+
+    @property
+    def pages(self) -> int:
+        """Total pages this segment occupies."""
+        return max(1, -(-self.length // self.manager.page_size))
+
+
+class PageManager:
+    """Owns segments and routes touches through one buffer pool."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 pool_pages: int = DEFAULT_POOL_PAGES):
+        if page_size < 64:
+            raise ValueError("page size unrealistically small")
+        self.page_size = page_size
+        self.counters = IOCounters()
+        self.pool = BufferPool(pool_pages, counters=self.counters)
+        self._segments: dict[str, Segment] = {}
+        self._next_id = 0
+
+    def segment(self, name: str, length: int = 0) -> Segment:
+        """Get or create the segment called ``name``; ``length`` updates
+        the extent size when larger than the current one."""
+        existing = self._segments.get(name)
+        if existing is not None:
+            if length > existing.length:
+                existing.length = length
+            return existing
+        segment = Segment(self, self._next_id, name, length)
+        self._next_id += 1
+        self._segments[name] = segment
+        return segment
+
+    def touch(self, segment: Segment, offset: int, length: int,
+              write: bool = False) -> None:
+        """Access the byte range, counting page hits/misses."""
+        if length <= 0:
+            return
+        self.counters.logical_touches += 1
+        for page_id in segment.page_span(offset, length):
+            self.pool.access(segment.segment_id, page_id, write=write)
+
+    def sequential_scan(self, segment: Segment) -> None:
+        """Touch every page of the segment once, in order — the cost of
+        one full sequential read."""
+        self.counters.logical_touches += 1
+        for page_id in range(segment.pages):
+            self.pool.access(segment.segment_id, page_id)
+
+    def reset(self) -> None:
+        """Clear counters and drop the pool contents (a cold start)."""
+        self.counters.reset()
+        self.pool._pages.clear()
+
+    def segments(self) -> list[Segment]:
+        """All registered segments."""
+        return list(self._segments.values())

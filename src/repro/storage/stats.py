@@ -1,0 +1,125 @@
+"""Document statistics for the cost model.
+
+The paper leaves the cost model as future work (Section 2); we implement
+the planned extension: simple statistics that let the optimizer estimate
+posting-list sizes and join selectivities well enough to choose between
+the NoK scan and index-driven join plans (experiment E5).
+
+Collected in one pass over an :class:`IntervalDocument`:
+
+* per-tag node counts,
+* per (parent tag, child tag) edge counts — a first-order Markov model of
+  the schema, enough to estimate child-step selectivities,
+* per (ancestor tag, descendant tag) pair counts for ``//`` steps,
+* depth histogram and value statistics (distinct values per tag).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.storage.interval import IntervalDocument
+from repro.storage.succinct import KIND_ATTRIBUTE, KIND_ELEMENT, KIND_TEXT
+
+__all__ = ["DocumentStatistics"]
+
+
+class DocumentStatistics:
+    """One-pass statistics over a shredded document."""
+
+    def __init__(self, document: IntervalDocument):
+        self.node_count = len(document.nodes)
+        self.tag_counts: Counter[str] = Counter()
+        self.edge_counts: Counter[tuple[str, str]] = Counter()
+        self.descendant_counts: Counter[tuple[str, str]] = Counter()
+        self.depth_histogram: Counter[int] = Counter()
+        self.distinct_values: dict[str, set[str]] = {}
+        self.max_depth = 0
+        # Tags of elements whose subtree holds >= 2 text runs: their
+        # string value is fragmented across content-store entries, so a
+        # content-index equality probe cannot find them (index-scan must
+        # not be chosen for such tags).
+        self.fragmented_value_tags: set[str] = set()
+
+        ancestors: list[str] = []       # tag stack in pre-order
+        ancestor_ends: list[int] = []
+        for record in document.nodes:
+            while ancestor_ends and ancestor_ends[-1] < record.pre:
+                ancestors.pop()
+                ancestor_ends.pop()
+            self.tag_counts[record.tag] += 1
+            self.depth_histogram[record.level] += 1
+            self.max_depth = max(self.max_depth, record.level)
+            if ancestors:
+                self.edge_counts[(ancestors[-1], record.tag)] += 1
+                for ancestor_tag in set(ancestors):
+                    self.descendant_counts[(ancestor_tag, record.tag)] += 1
+            if record.kind in (KIND_TEXT, KIND_ATTRIBUTE) and record.value:
+                owner_tag = ancestors[-1] if ancestors else record.tag
+                key = record.tag if record.kind == KIND_ATTRIBUTE else owner_tag
+                self.distinct_values.setdefault(key, set()).add(record.value)
+            ancestors.append(record.tag)
+            ancestor_ends.append(record.end)
+
+        # Prefix sums over text nodes expose per-element text-run counts
+        # in O(n): fragmented iff an element subtree holds >= 2 runs.
+        texts_before = [0] * (len(document.nodes) + 1)
+        for index, record in enumerate(document.nodes):
+            texts_before[index + 1] = texts_before[index] + (
+                1 if record.kind == KIND_TEXT else 0)
+        for record in document.nodes:
+            if record.kind != KIND_ELEMENT:
+                continue
+            runs = texts_before[record.end + 1] - texts_before[record.pre]
+            if runs >= 2:
+                self.fragmented_value_tags.add(record.tag)
+
+    # -- estimators -------------------------------------------------------------
+
+    def count(self, tag: str) -> int:
+        """Exact number of nodes with ``tag`` (0 when absent)."""
+        return self.tag_counts.get(tag, 0)
+
+    def child_count(self, parent_tag: str, child_tag: str) -> int:
+        """Exact number of (parent, child) edges with those tags."""
+        return self.edge_counts.get((parent_tag, child_tag), 0)
+
+    def descendant_count(self, ancestor_tag: str, descendant_tag: str) -> int:
+        """Exact number of (ancestor, descendant) pairs with those tags."""
+        return self.descendant_counts.get((ancestor_tag, descendant_tag), 0)
+
+    def child_selectivity(self, parent_tag: str, child_tag: str) -> float:
+        """Fraction of ``parent_tag`` nodes that have a ``child_tag``
+        child edge (capped at 1.0 — an estimator, not a count)."""
+        parents = self.count(parent_tag)
+        if parents == 0:
+            return 0.0
+        return min(1.0, self.child_count(parent_tag, child_tag) / parents)
+
+    def value_selectivity(self, tag: str,
+                          value: Optional[str] = None) -> float:
+        """Estimated fraction of ``tag`` nodes matching an equality
+        predicate, under the uniform-distinct-values assumption."""
+        distinct = len(self.distinct_values.get(tag, ()))
+        if distinct == 0:
+            return 0.0
+        return 1.0 / distinct
+
+    def average_fanout(self) -> float:
+        """Mean number of children per element node."""
+        elements = sum(count for tag, count in self.tag_counts.items()
+                       if not tag.startswith(("@", "#", "?")))
+        if elements == 0:
+            return 0.0
+        edges = sum(self.edge_counts.values())
+        return edges / elements
+
+    def summary(self) -> dict[str, object]:
+        """A compact dictionary for EXPLAIN output and benchmark rows."""
+        return {
+            "nodes": self.node_count,
+            "distinct_tags": len(self.tag_counts),
+            "max_depth": self.max_depth,
+            "average_fanout": round(self.average_fanout(), 3),
+        }

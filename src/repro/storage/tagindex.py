@@ -1,0 +1,68 @@
+"""Tag index: element name -> pre-order posting list.
+
+Join-based plans "first select a list of XML tree nodes that satisfy the
+node-associated constraints for each pattern tree node, and then pairwise
+join the lists" (Section 5).  The selection step is exactly a posting-list
+fetch from this index.
+
+Postings carry the full *(pre, post, level)* labels so structural joins can
+run without touching the base store.  I/O is charged per posting list
+scanned: each list is a segment read sequentially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.interval import IntervalDocument, IntervalNode
+from repro.storage.pages import PageManager, Segment
+
+__all__ = ["TagIndex"]
+
+_POSTING_BYTES = 12  # pre + post as 4-byte ints, level + slack
+
+
+class TagIndex:
+    """An inverted index from tag (element/attribute/leaf name) to the
+    document-ordered list of its :class:`IntervalNode` records."""
+
+    def __init__(self, document: IntervalDocument,
+                 pages: Optional[PageManager] = None):
+        self._postings: dict[str, list[IntervalNode]] = {}
+        for record in document.nodes:
+            self._postings.setdefault(record.tag, []).append(record)
+        self._pages = pages
+        self._segments: dict[str, Segment] = {}
+        if pages is not None:
+            for tag, postings in self._postings.items():
+                self._segments[tag] = pages.segment(
+                    f"tagindex:{tag}", _POSTING_BYTES * len(postings))
+
+    def tags(self) -> list[str]:
+        """All indexed tags."""
+        return list(self._postings)
+
+    def cardinality(self, tag: str) -> int:
+        """Number of postings for ``tag`` (0 when absent)."""
+        return len(self._postings.get(tag, ()))
+
+    def postings(self, tag: str, charge: bool = True) -> list[IntervalNode]:
+        """The document-ordered posting list for ``tag``.
+
+        ``charge=True`` bills a sequential scan of the list's segment —
+        the cost a join-based plan pays per pattern node.
+        """
+        postings = self._postings.get(tag, [])
+        if charge and self._pages is not None and tag in self._segments:
+            self._pages.sequential_scan(self._segments[tag])
+        return postings
+
+    def size_bytes(self) -> int:
+        """Bytes charged: one 12-byte posting per node plus the tag
+        dictionary."""
+        entries = sum(len(p) for p in self._postings.values())
+        dictionary = sum(len(tag.encode("utf-8")) + 5 for tag in self._postings)
+        return _POSTING_BYTES * entries + dictionary
+
+    def __repr__(self) -> str:
+        return f"<TagIndex tags={len(self._postings)}>"

@@ -1,0 +1,34 @@
+"""Synthetic workloads (the DESIGN.md substitution for real datasets).
+
+Seeded, deterministic generators for the three document-shape regimes the
+era's XML benchmarks cover:
+
+* :mod:`repro.workload.xmark` — XMark-style auction sites (wide, mixed
+  content, attributes, moderate depth) — the main benchmark workload;
+* :mod:`repro.workload.dblp` — bibliography documents (very wide and
+  shallow, highly repetitive schema);
+* :mod:`repro.workload.treebank` — deep recursive trees (the worst case
+  for navigational evaluation);
+
+plus :mod:`repro.workload.queries`, the query sets the experiments sweep.
+"""
+
+from repro.workload.dblp import generate_dblp
+from repro.workload.queries import (
+    LINEAR_PATHS,
+    TWIG_QUERIES,
+    XMARK_QUERY_SET,
+    selectivity_query,
+)
+from repro.workload.treebank import generate_treebank
+from repro.workload.xmark import generate_xmark
+
+__all__ = [
+    "LINEAR_PATHS",
+    "TWIG_QUERIES",
+    "XMARK_QUERY_SET",
+    "generate_dblp",
+    "generate_treebank",
+    "generate_xmark",
+    "selectivity_query",
+]

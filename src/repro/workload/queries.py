@@ -1,0 +1,82 @@
+"""Query workloads for the experiments (the DESIGN.md experiment index).
+
+Each experiment sweeps a named set; keeping them here (rather than inline
+in the benchmarks) makes the workloads testable and lets examples reuse
+them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LINEAR_PATHS", "TWIG_QUERIES", "XMARK_QUERY_SET",
+           "SIBLING_QUERIES", "selectivity_query", "descendant_fraction",
+           "SELECTIVITY_SWEEP"]
+
+# E5 sweep points from coarse to fine (field, value-source, approx sel).
+# "#first-name" means: substitute the document's first item name.
+SELECTIVITY_SWEEP: list[tuple[str, str, float]] = [
+    ("featured-no", "//item[@featured = 'no']", 0.9),
+    ("payment-cash", "//item[payment = 'Cash']", 1.0 / 3.0),
+    ("quantity-3", "//item[quantity = '3']", 1.0 / 5.0),
+    ("name-exact", "#first-name", 0.0),  # ~1/scale, filled by the bench
+]
+
+# E2: pure child-axis (NoK) paths over XMark documents, by length.
+LINEAR_PATHS: dict[int, str] = {
+    2: "/site/regions",
+    3: "/site/regions/europe",
+    4: "/site/regions/europe/item",
+    5: "/site/regions/europe/item/name",
+    6: "/site/regions/europe/item/description/text",
+    7: "/site/regions/europe/item/mailbox/mail/date",
+    8: "/site/open_auctions/open_auction/bidder/personref",
+}
+
+# E3: twig queries with branches and mixed / and // edges.
+TWIG_QUERIES: dict[str, str] = {
+    "twig-1-branch": "//item[name]/payment",
+    "twig-2-branch": "//item[location][payment]/name",
+    "twig-deep": "//open_auction[initial][seller]/bidder/increase",
+    "twig-mixed": "/site//item[mailbox/mail]/name",
+    "twig-value": "//item[payment = 'Cash']/name",
+    "twig-attr": "//person[profile/@income]/name",
+}
+
+# The XMark-flavoured query mix (per-class) the scaling sweep (E4) uses.
+XMARK_QUERY_SET: dict[str, str] = {
+    "q-child": "/site/regions/europe/item/name",
+    "q-descendant": "//item/name",
+    "q-deep-descendant": "//mailbox//date",
+    "q-twig": "//item[location][quantity]/name",
+    "q-attribute": "//person/@id",
+    "q-value": "//item[payment = 'Cash']",
+    "q-wildcard": "/site/*/europe/item",
+}
+
+# Following-sibling workloads (partition-boundary joins).
+SIBLING_QUERIES: dict[str, str] = {
+    "sib-name-payment": "//name/following-sibling::payment",
+    "sib-initial-current": "//initial/following-sibling::current",
+}
+
+
+def selectivity_query(value: str, field: str = "name") -> str:
+    """E5: an equality predicate query against one item field.
+
+    With ``field="name"`` and an actual generated name the selectivity is
+    ~1/scale (names embed their index and are near-unique); coarser sweep
+    points use ``payment`` (3 distinct values, ~1/3) or ``quantity``
+    (5 values, ~1/5).
+    """
+    return f"//item[{field} = '{value}']"
+
+
+def descendant_fraction(depth: int, descendant_edges: int) -> str:
+    """E8: a linear path of ``depth`` steps of which ``descendant_edges``
+    are ``//`` (spread from the leaf upward)."""
+    tags = ["site", "regions", "europe", "item", "mailbox", "mail",
+            "date"][:depth]
+    separators = []
+    for position in range(len(tags)):
+        from_leaf = len(tags) - 1 - position
+        separators.append("//" if from_leaf < descendant_edges else "/")
+    return "".join(sep + tag for sep, tag in zip(separators, tags))

@@ -1,0 +1,59 @@
+"""Treebank-style documents: deep, recursive, irregular trees.
+
+Linguistic parse trees (the Treebank dataset) are the deep-recursion
+regime: the same small tag set nests to great depths with no regular
+schema.  This is where per-node navigational evaluation hurts most and
+where ``//`` queries produce large ancestor sets — the stress test for
+stacks and for the BP excess directory.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xml.model import Document, Element
+
+__all__ = ["generate_treebank"]
+
+_TAGS = ("S", "NP", "VP", "PP", "ADJP", "NN", "VB", "IN", "DT", "JJ")
+_LEAVES = ("cat sat mat dog ran fast tree deep data base "
+           "node query index scan").split()
+
+
+def generate_treebank(sentences: int = 20, max_depth: int = 12,
+                      seed: int = 11) -> Document:
+    """A corpus of ``sentences`` parse trees nesting up to ``max_depth``."""
+    if sentences < 1:
+        raise ValueError("sentences must be at least 1")
+    if max_depth < 2:
+        raise ValueError("max_depth must be at least 2")
+    rng = random.Random(seed)
+    document = Document(uri=f"treebank-{sentences}.xml")
+    corpus = document.append(Element("corpus"))
+    for _ in range(sentences):
+        corpus.append(_sentence(rng, max_depth))
+    return document
+
+
+def _sentence(rng: random.Random, max_depth: int) -> Element:
+    sentence = Element("S")
+    budget = rng.randint(max_depth // 2, max_depth)
+    _grow(sentence, rng, budget)
+    return sentence
+
+
+def _grow(node: Element, rng: random.Random, depth: int) -> None:
+    if depth <= 0:
+        leaf = node.append(Element(rng.choice(("NN", "VB", "JJ"))))
+        leaf.append_text(rng.choice(_LEAVES))
+        return
+    for _ in range(rng.randint(1, 3)):
+        child = node.append(Element(rng.choice(_TAGS)))
+        if rng.random() < 0.25:
+            child.set_attribute("func", rng.choice(("subj", "obj", "mod")))
+        if rng.random() < 0.3:
+            child.append_text(rng.choice(_LEAVES))
+        else:
+            # Recursion depth shrinks by a random amount, producing the
+            # irregular, deeply skewed nesting Treebank is known for.
+            _grow(child, rng, depth - rng.randint(1, 3))

@@ -1,0 +1,179 @@
+"""XMark-style auction documents (the paper-era standard workload).
+
+:func:`generate_xmark` builds an auction site document shaped like the
+XMark benchmark: ``site`` holding ``regions`` (items with names, prices
+and mailboxes), ``people`` (persons with profiles and watch lists), and
+``open_auctions``/``closed_auctions`` (bidders referencing items and
+persons).  The generator is seeded, so a (scale, seed) pair always yields
+the same tree — experiments are reproducible bit for bit.
+
+``scale`` counts items; the other populations derive from it with the
+XMark ratios (persons ≈ items, open auctions ≈ items/2, ...).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xml.model import Document, Element
+
+__all__ = ["generate_xmark", "REGIONS"]
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_WORDS = (
+    "quality vintage rare modern classic compact deluxe standard "
+    "premium basic refurbished sealed boxed signed limited original"
+).split()
+
+_FIRST_NAMES = ("Ann Bob Carol Dave Eve Frank Grace Henry Iris Jack "
+                "Kate Luis Mona Nils Olga Paul").split()
+_LAST_NAMES = ("Adams Baker Chen Davis Evans Fisher Green Huang "
+               "Ivanov Jones Klein Lopez").split()
+_CATEGORIES = 12
+
+
+def generate_xmark(scale: int = 100, seed: int = 42) -> Document:
+    """An auction document with ``scale`` items (~|nodes| ≈ 40·scale)."""
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    rng = random.Random(seed)
+    document = Document(uri=f"xmark-{scale}.xml")
+    site = document.append(Element("site"))
+
+    _regions(site, rng, scale)
+    _categories(site, rng)
+    people = _people(site, rng, max(2, scale))
+    _open_auctions(site, rng, max(1, scale // 2), scale, people)
+    _closed_auctions(site, rng, max(1, scale // 4), scale, people)
+    return document
+
+
+def _phrase(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def _regions(site: Element, rng: random.Random, items: int) -> None:
+    regions = site.append(Element("regions"))
+    buckets = {name: regions.append(Element(name)) for name in REGIONS}
+    for index in range(items):
+        region = buckets[REGIONS[rng.randrange(len(REGIONS))]]
+        item = region.append(Element("item"))
+        item.set_attribute("id", f"item{index}")
+        item.set_attribute("featured",
+                           "yes" if rng.random() < 0.1 else "no")
+        location = item.append(Element("location"))
+        location.append_text(rng.choice(("United States", "Germany",
+                                         "Japan", "Brazil", "Kenya")))
+        name = item.append(Element("name"))
+        name.append_text(_phrase(rng, 2) + f" {index}")
+        payment = item.append(Element("payment"))
+        payment.append_text(rng.choice(("Cash", "Creditcard",
+                                        "Money order")))
+        description = item.append(Element("description"))
+        text = description.append(Element("text"))
+        text.append_text(_phrase(rng, rng.randint(4, 10)))
+        if rng.random() < 0.4:
+            emph = text.append(Element("emph"))
+            emph.append_text(rng.choice(_WORDS))
+        mailbox = item.append(Element("mailbox"))
+        for mail_index in range(rng.randint(0, 2)):
+            mail = mailbox.append(Element("mail"))
+            sender = mail.append(Element("from"))
+            sender.append_text(rng.choice(_FIRST_NAMES))
+            receiver = mail.append(Element("to"))
+            receiver.append_text(rng.choice(_FIRST_NAMES))
+            date = mail.append(Element("date"))
+            date.append_text(f"0{rng.randint(1, 9)}/"
+                             f"{rng.randint(10, 28)}/2003")
+        quantity = item.append(Element("quantity"))
+        quantity.append_text(str(rng.randint(1, 5)))
+
+
+def _categories(site: Element, rng: random.Random) -> None:
+    categories = site.append(Element("categories"))
+    for index in range(_CATEGORIES):
+        category = categories.append(Element("category"))
+        category.set_attribute("id", f"category{index}")
+        name = category.append(Element("name"))
+        name.append_text(_phrase(rng, 1))
+
+
+def _people(site: Element, rng: random.Random, count: int) -> list[str]:
+    people = site.append(Element("people"))
+    identifiers = []
+    for index in range(count):
+        person = people.append(Element("person"))
+        identifier = f"person{index}"
+        person.set_attribute("id", identifier)
+        identifiers.append(identifier)
+        name = person.append(Element("name"))
+        name.append_text(f"{rng.choice(_FIRST_NAMES)} "
+                         f"{rng.choice(_LAST_NAMES)}")
+        email = person.append(Element("emailaddress"))
+        email.append_text(f"mailto:{identifier}@example.com")
+        if rng.random() < 0.7:
+            profile = person.append(Element("profile"))
+            profile.set_attribute("income",
+                                  f"{rng.randint(20, 120) * 1000}")
+            for _ in range(rng.randint(0, 3)):
+                interest = profile.append(Element("interest"))
+                interest.set_attribute(
+                    "category", f"category{rng.randrange(_CATEGORIES)}")
+            education = profile.append(Element("education"))
+            education.append_text(rng.choice(("High School", "College",
+                                              "Graduate School")))
+        if rng.random() < 0.4:
+            watches = person.append(Element("watches"))
+            for _ in range(rng.randint(1, 3)):
+                watch = watches.append(Element("watch"))
+                watch.set_attribute(
+                    "open_auction",
+                    f"open_auction{rng.randrange(max(1, count // 2))}")
+    return identifiers
+
+
+def _open_auctions(site: Element, rng: random.Random, count: int,
+                   items: int, people: list[str]) -> None:
+    auctions = site.append(Element("open_auctions"))
+    for index in range(count):
+        auction = auctions.append(Element("open_auction"))
+        auction.set_attribute("id", f"open_auction{index}")
+        initial = auction.append(Element("initial"))
+        start = round(rng.uniform(1, 200), 2)
+        initial.append_text(f"{start:.2f}")
+        price = start
+        for _ in range(rng.randint(0, 4)):
+            bidder = auction.append(Element("bidder"))
+            date = bidder.append(Element("date"))
+            date.append_text(f"0{rng.randint(1, 9)}/"
+                             f"{rng.randint(10, 28)}/2003")
+            personref = bidder.append(Element("personref"))
+            personref.set_attribute("person", rng.choice(people))
+            increase = bidder.append(Element("increase"))
+            step = round(rng.uniform(1, 30), 2)
+            price += step
+            increase.append_text(f"{step:.2f}")
+        current = auction.append(Element("current"))
+        current.append_text(f"{price:.2f}")
+        itemref = auction.append(Element("itemref"))
+        itemref.set_attribute("item", f"item{rng.randrange(items)}")
+        seller = auction.append(Element("seller"))
+        seller.set_attribute("person", rng.choice(people))
+
+
+def _closed_auctions(site: Element, rng: random.Random, count: int,
+                     items: int, people: list[str]) -> None:
+    auctions = site.append(Element("closed_auctions"))
+    for index in range(count):
+        auction = auctions.append(Element("closed_auction"))
+        price = auction.append(Element("price"))
+        price.append_text(f"{rng.uniform(5, 400):.2f}")
+        buyer = auction.append(Element("buyer"))
+        buyer.set_attribute("person", rng.choice(people))
+        itemref = auction.append(Element("itemref"))
+        itemref.set_attribute("item", f"item{rng.randrange(items)}")
+        seller = auction.append(Element("seller"))
+        seller.set_attribute("person", rng.choice(people))
+        quantity = auction.append(Element("quantity"))
+        quantity.append_text(str(rng.randint(1, 3)))

@@ -1,0 +1,40 @@
+"""XML substrate: data model, event stream, parser, and serializer.
+
+This package implements the W3C-style data model the paper assumes — XML
+documents as labelled, ordered, rooted trees — entirely from scratch:
+
+* :mod:`repro.xml.model` — the node classes (:class:`Document`,
+  :class:`Element`, :class:`Text`, ...) with document order and axes.
+* :mod:`repro.xml.events` — a SAX-style event vocabulary; pre-order events
+  coincide with streaming arrival order (Section 4.2 of the paper).
+* :mod:`repro.xml.parser` — an event-based XML parser and tree builder.
+* :mod:`repro.xml.serializer` — tree back to XML text.
+"""
+
+from repro.xml.model import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    Node,
+    NodeKind,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.parser import iterparse, parse, parse_file
+from repro.xml.serializer import serialize
+
+__all__ = [
+    "Attribute",
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "NodeKind",
+    "ProcessingInstruction",
+    "Text",
+    "iterparse",
+    "parse",
+    "parse_file",
+    "serialize",
+]

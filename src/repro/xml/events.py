@@ -1,0 +1,115 @@
+"""SAX-style parse events.
+
+The paper's storage scheme linearises trees in pre-order, which "coincides
+with the streaming XML element arrival order" (Section 4.2) — so the same
+event vocabulary serves both the parser and the streaming evaluation mode of
+the NoK pattern matcher (experiment E9).
+
+Events are small frozen dataclasses; a parse of a document yields a stream::
+
+    StartDocument, StartElement, (Characters | StartElement ... EndElement)*,
+    EndElement, EndDocument
+
+Attributes are carried on :class:`StartElement` (they arrive with the start
+tag on the wire, exactly as the succinct storage stores them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "StartDocument",
+    "EndDocument",
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "CommentEvent",
+    "PIEvent",
+    "Event",
+    "events_from_tree",
+]
+
+
+@dataclass(frozen=True)
+class StartDocument:
+    """Beginning of a document stream."""
+
+    uri: str = ""
+
+
+@dataclass(frozen=True)
+class EndDocument:
+    """End of a document stream."""
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """An element start tag, with its attributes in document order."""
+
+    tag: str
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """An element end tag."""
+
+    tag: str
+
+
+@dataclass(frozen=True)
+class Characters:
+    """A run of character data (text)."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class CommentEvent:
+    """A comment."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class PIEvent:
+    """A processing instruction."""
+
+    target: str
+    data: str = ""
+
+
+Event = Union[StartDocument, EndDocument, StartElement, EndElement,
+              Characters, CommentEvent, PIEvent]
+
+
+def events_from_tree(document) -> Iterator[Event]:
+    """Replay a parsed :class:`~repro.xml.model.Document` as an event
+    stream — the inverse of the tree builder, used to exercise streaming
+    operators without reparsing text."""
+    from repro.xml import model
+
+    yield StartDocument(uri=document.uri)
+    stack: list = [iter([c for c in document.children()])]
+    open_tags: list[str] = []
+    while stack:
+        node = next(stack[-1], None)
+        if node is None:
+            stack.pop()
+            if open_tags:
+                yield EndElement(open_tags.pop())
+            continue
+        if isinstance(node, model.Element):
+            attrs = tuple((a.attr_name, a.value) for a in node.attributes())
+            yield StartElement(node.tag, attrs)
+            open_tags.append(node.tag)
+            stack.append(node.children())
+        elif isinstance(node, model.Text):
+            yield Characters(node.value)
+        elif isinstance(node, model.Comment):
+            yield CommentEvent(node.value)
+        elif isinstance(node, model.ProcessingInstruction):
+            yield PIEvent(node.target, node.data)
+    yield EndDocument()

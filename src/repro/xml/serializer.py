@@ -1,0 +1,84 @@
+"""Serialize document trees back to XML text.
+
+The serializer is the inverse of the parser on canonical documents (no
+CDATA, no DOCTYPE, predefined entities only), a property the test suite
+checks with round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xml import model
+
+__all__ = ["serialize", "escape_text", "escape_attribute"]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;"))
+
+
+def _write_node(node: model.Node, parts: list[str], indent: Optional[str],
+                level: int) -> None:
+    pad = "" if indent is None else "\n" + indent * level
+    if isinstance(node, model.Element):
+        attrs = "".join(
+            f' {a.attr_name}="{escape_attribute(a.value)}"'
+            for a in node.attributes())
+        children = list(node.children())
+        if not children:
+            parts.append(f"{pad}<{node.tag}{attrs}/>")
+            return
+        parts.append(f"{pad}<{node.tag}{attrs}>")
+        # Mixed content is serialized inline to preserve text exactly.
+        has_text = any(isinstance(c, model.Text) for c in children)
+        child_indent = None if has_text else indent
+        for child in children:
+            _write_node(child, parts, child_indent, level + 1)
+        if child_indent is not None:
+            parts.append("\n" + indent * level)
+        parts.append(f"</{node.tag}>")
+    elif isinstance(node, model.Text):
+        parts.append(escape_text(node.value))
+    elif isinstance(node, model.Comment):
+        parts.append(f"{pad}<!--{node.value}-->")
+    elif isinstance(node, model.ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"{pad}<?{node.target}{data}?>")
+    elif isinstance(node, model.Attribute):
+        # A bare attribute node (reached via the attribute axis)
+        # serializes as name="value".
+        parts.append(f'{node.attr_name}="{escape_attribute(node.value)}"')
+    elif isinstance(node, model.Document):
+        for child in node.children():
+            _write_node(child, parts, indent, level)
+    else:  # pragma: no cover - exhaustive over node kinds
+        raise TypeError(f"cannot serialize {node!r}")
+
+
+def serialize(node: model.Node, indent: Optional[str] = None,
+              declaration: bool = False) -> str:
+    """Serialize ``node`` (a document, element, or leaf) to XML text.
+
+    ``indent`` enables pretty-printing with the given unit (e.g. ``"  "``);
+    mixed-content elements are kept inline so text round-trips exactly.
+    ``declaration`` prepends ``<?xml version="1.0"?>``.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is None:
+            parts.append("\n")
+    _write_node(node, parts, indent, 0)
+    text = "".join(parts)
+    return text.lstrip("\n") if indent is not None else text

@@ -1,0 +1,28 @@
+"""XPath frontend: the paper's path-expression fragment.
+
+Path expressions are "arguably the most natural way to query tree-structure
+data ... one of the most heavily used expressions in XQuery" (Section 4.1).
+This package provides:
+
+* :mod:`repro.xpath.ast` — the syntax tree,
+* :mod:`repro.xpath.lexer` / :mod:`repro.xpath.parser` — text to AST,
+* :mod:`repro.xpath.semantics` — the *reference evaluator*: a direct,
+  node-at-a-time implementation of the W3C semantics over
+  :mod:`repro.xml.model` trees.  Every physical strategy in
+  :mod:`repro.physical` is differential-tested against it.
+
+Supported fragment (everything the paper's algebra covers):
+
+* axes: ``child``, ``descendant``, ``descendant-or-self``, ``self``,
+  ``parent``, ``attribute``, ``following-sibling``,
+* abbreviations ``/``, ``//``, ``@``, ``.``, ``..``,
+* node tests: names, ``*``, ``text()``, ``comment()``, ``node()``,
+* predicates: existence paths, value comparisons, positions, ``and`` /
+  ``or`` / ``not()``, and the core function library,
+* union ``|``.
+"""
+
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_xpath
+
+__all__ = ["parse_xpath", "evaluate_xpath"]

@@ -1,0 +1,184 @@
+"""Abstract syntax for the XPath fragment.
+
+The AST is deliberately small and regular: a :class:`LocationPath` is a
+list of :class:`Step`; a step has an axis, a node test, and predicates;
+predicate expressions reuse the same node classes.  The XQuery frontend
+embeds these nodes for its path expressions, and the algebra translator
+(:mod:`repro.algebra.translate`) compiles them into pattern graphs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "NameTest",
+    "WildcardTest",
+    "KindTest",
+    "Step",
+    "LocationPath",
+    "Literal",
+    "ContextItem",
+    "BinaryOp",
+    "UnaryOp",
+    "FunctionCall",
+    "Union_",
+    "Expr",
+]
+
+
+class Axis(enum.Enum):
+    """The axes of the paper's fragment.
+
+    ``CHILD``, ``ATTRIBUTE`` and ``FOLLOWING_SIBLING`` are *local* (NoK)
+    relationships; ``DESCENDANT`` / ``DESCENDANT_OR_SELF`` are the
+    non-local ones that force partitioning (Section 4.2).
+    """
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    SELF = "self"
+    PARENT = "parent"
+    ATTRIBUTE = "attribute"
+    FOLLOWING_SIBLING = "following-sibling"
+
+    @property
+    def is_local(self) -> bool:
+        """True for next-of-kin (NoK) axes."""
+        return self in (Axis.CHILD, Axis.ATTRIBUTE, Axis.FOLLOWING_SIBLING,
+                        Axis.SELF)
+
+
+class NodeTest:
+    """Base class of node tests."""
+
+    def matches_tag(self, tag: str, kind: str) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NameTest(NodeTest):
+    """``book`` — matches elements (or attributes on the attribute axis)
+    with the given name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class WildcardTest(NodeTest):
+    """``*`` — matches any element (or any attribute on that axis)."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class KindTest(NodeTest):
+    """``text()`` / ``comment()`` / ``node()``."""
+
+    kind: str  # "text" | "comment" | "node"
+
+    def __str__(self) -> str:
+        return f"{self.kind}()"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::test[pred]...``."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis.value}::{self.test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A (possibly absolute) sequence of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        prefix = "/" if self.absolute else ""
+        return prefix + "/".join(str(step) for step in self.steps)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal."""
+
+    value: Union[str, float]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ContextItem:
+    """``.`` used as an expression (e.g. ``.[. = 'x']``)."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Comparison, arithmetic, or boolean connective."""
+
+    op: str   # = != < <= > >= + - * div mod and or
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to one of the core library functions."""
+
+    name: str
+    args: tuple["Expr", ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Union_:
+    """``path | path`` — node-set union in document order."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+Expr = Union[LocationPath, Literal, ContextItem, BinaryOp, UnaryOp,
+             FunctionCall, Union_]

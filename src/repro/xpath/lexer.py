@@ -1,0 +1,169 @@
+"""Tokenizer shared by the XPath and XQuery parsers.
+
+A hand-written scanner producing a flat token list; the parsers do
+recursive descent over it.  Token kinds:
+
+``NAME``      qualified names (``bib``, ``ns:tag``; ``-`` and ``.`` inside)
+``NUMBER``    integer or decimal literals
+``STRING``    single- or double-quoted strings (doubled quote escapes)
+``SYMBOL``    punctuation and operators (``//``, ``::``, ``!=``, ...)
+``VARIABLE``  ``$name`` (used by XQuery)
+``EOF``       end of input
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "tokenize_tolerant", "NAME", "NUMBER",
+           "STRING", "SYMBOL", "VARIABLE", "EOF", "ERROR"]
+
+NAME = "NAME"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+VARIABLE = "VARIABLE"
+EOF = "EOF"
+ERROR = "ERROR"
+
+# Longest-match-first multi-character symbols.
+_SYMBOLS = [
+    "//", "::", "..", ":=", "!=", "<=", ">=", "<<", ">>",
+    "/", "(", ")", "[", "]", "@", ".", "*", "|", ",", "=", "<", ">",
+    "+", "-", "{", "}", ";",
+]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into tokens.  Raises
+    :class:`~repro.errors.QuerySyntaxError` on unscannable input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "(" and text.startswith("(:", pos):
+            # XQuery comment (: ... :), nestable.
+            depth = 1
+            scan = pos + 2
+            while scan < length and depth:
+                if text.startswith("(:", scan):
+                    depth += 1
+                    scan += 2
+                elif text.startswith(":)", scan):
+                    depth -= 1
+                    scan += 2
+                else:
+                    scan += 1
+            if depth:
+                raise QuerySyntaxError("unterminated comment", position=pos)
+            pos = scan
+            continue
+        if ch in "'\"":
+            end = pos + 1
+            parts: list[str] = []
+            while True:
+                nxt = text.find(ch, end)
+                if nxt < 0:
+                    raise QuerySyntaxError("unterminated string literal",
+                                           position=pos)
+                if text.startswith(ch * 2, nxt):
+                    parts.append(text[end:nxt] + ch)
+                    end = nxt + 2
+                    continue
+                parts.append(text[end:nxt])
+                break
+            tokens.append(Token(STRING, "".join(parts), pos))
+            pos = nxt + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and text[pos + 1].isdigit()):
+            end = pos
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # ".." is a symbol, not part of a number.
+                    if text.startswith("..", end):
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(NUMBER, text[pos:end], pos))
+            pos = end
+            continue
+        if ch == "$":
+            end = pos + 1
+            if end >= length or text[end] not in _NAME_START:
+                raise QuerySyntaxError("expected variable name after '$'",
+                                       position=pos)
+            while end < length and text[end] in _NAME_CHARS:
+                end += 1
+            tokens.append(Token(VARIABLE, text[pos + 1:end], pos))
+            pos = end
+            continue
+        if ch in _NAME_START:
+            end = pos + 1
+            while end < length and text[end] in _NAME_CHARS:
+                end += 1
+            # Names may be qualified: ns:local (but not ns::axis).
+            if (end < length and text[end] == ":"
+                    and not text.startswith("::", end)
+                    and end + 1 < length and text[end + 1] in _NAME_START):
+                end += 2
+                while end < length and text[end] in _NAME_CHARS:
+                    end += 1
+            tokens.append(Token(NAME, text[pos:end], pos))
+            pos = end
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(SYMBOL, symbol, pos))
+                pos += len(symbol)
+                break
+        else:
+            raise QuerySyntaxError(f"unexpected character {ch!r}",
+                                   position=pos)
+    tokens.append(Token(EOF, "", length))
+    return tokens
+
+
+def tokenize_tolerant(text: str, base: int = 0) -> list[Token]:
+    """Tokenize as far as possible.
+
+    XQuery constructor *content* is character-structured, not
+    token-structured, so eagerly tokenizing a whole query can fail inside a
+    constructor (``<t>count: {...}</t>``).  This variant keeps the cleanly
+    scanned prefix and ends it with an ``ERROR`` sentinel; the XQuery
+    parser re-scans constructors at character level and re-tokenizes the
+    tail afterwards.  ``base`` shifts all positions (for tail re-scans).
+    """
+    try:
+        tokens = tokenize(text)
+    except QuerySyntaxError as err:
+        position = err.position if err.position is not None else 0
+        tokens = tokenize(text[:position])[:-1]
+        tokens.append(Token(ERROR, "", position))
+        tokens.append(Token(EOF, "", position))
+    if base:
+        tokens = [Token(t.kind, t.value, t.position + base) for t in tokens]
+    return tokens

@@ -1,0 +1,279 @@
+"""Recursive-descent parser for the XPath fragment.
+
+Grammar (precedence low to high)::
+
+    Expr     := OrExpr
+    OrExpr   := AndExpr ("or" AndExpr)*
+    AndExpr  := CmpExpr ("and" CmpExpr)*
+    CmpExpr  := AddExpr (("=" | "!=" | "<" | "<=" | ">" | ">=") AddExpr)?
+    AddExpr  := MulExpr (("+" | "-") MulExpr)*
+    MulExpr  := Unary (("*" | "div" | "mod") Unary)*
+    Unary    := "-" Unary | Union
+    Union    := Path ("|" Path)*
+    Path     := LocationPath | Primary
+    Primary  := "(" Expr ")" | Literal | Number | FunctionCall
+
+The classic ``*`` ambiguity (wildcard vs multiply) resolves by grammar
+position: at an operand position ``*`` is a node test, after a complete
+operand it is the operator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import QuerySyntaxError
+from repro.xpath import ast
+from repro.xpath.lexer import (
+    EOF,
+    ERROR,
+    NAME,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    Token,
+    tokenize,
+)
+
+__all__ = ["parse_xpath", "XPathParser"]
+
+_AXES = {axis.value: axis for axis in ast.Axis}
+_KIND_TESTS = {"text", "comment", "node"}
+
+
+class XPathParser:
+    """Parses a token list into an :mod:`repro.xpath.ast` tree.
+
+    The XQuery parser subclasses the expression machinery, so everything
+    that might be extended is a method.
+    """
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def at_symbol(self, *values: str) -> bool:
+        token = self.current
+        return token.kind == SYMBOL and token.value in values
+
+    def at_name(self, *values: str) -> bool:
+        token = self.current
+        return token.kind == NAME and token.value in values
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind == ERROR:
+            raise QuerySyntaxError("unscannable input (expression context)",
+                                   position=token.position)
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise QuerySyntaxError(
+                f"expected {wanted!r}, found {token.value or token.kind!r}",
+                position=token.position)
+        return self.advance()
+
+    def error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, position=self.current.position)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at_name("or"):
+            self.advance()
+            left = ast.BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_comparison()
+        while self.at_name("and"):
+            self.advance()
+            left = ast.BinaryOp("and", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.at_symbol("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return ast.BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.at_symbol("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.at_symbol("*") or self.at_name("div", "mod"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.at_symbol("-"):
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> ast.Expr:
+        left = self.parse_path_expr()
+        while self.at_symbol("|"):
+            self.advance()
+            left = ast.Union_(left, self.parse_path_expr())
+        return left
+
+    # -- paths --------------------------------------------------------------------
+
+    def parse_path_expr(self) -> ast.Expr:
+        if self.at_symbol("/", "//"):
+            return self.parse_location_path()
+        if self.starts_step():
+            return self.parse_location_path()
+        return self.parse_primary()
+
+    def starts_step(self) -> bool:
+        """Does the current token begin a location step?"""
+        token = self.current
+        if token.kind == SYMBOL and token.value in ("@", ".", "..", "*"):
+            return True
+        if token.kind != NAME:
+            return False
+        # A name starts a step unless it is a function call that is not a
+        # kind test (count(...), not a text()).
+        nxt = self.tokens[self.index + 1]
+        if nxt.kind == SYMBOL and nxt.value == "(":
+            return token.value in _KIND_TESTS
+        return True
+
+    def parse_location_path(self) -> ast.LocationPath:
+        steps: list[ast.Step] = []
+        absolute = False
+        if self.at_symbol("/"):
+            absolute = True
+            self.advance()
+            if not self.starts_step():
+                # Bare "/" selects the document node.
+                return ast.LocationPath(steps=(), absolute=True)
+        elif self.at_symbol("//"):
+            absolute = True
+            self.advance()
+            steps.append(ast.Step(ast.Axis.DESCENDANT_OR_SELF,
+                                  ast.KindTest("node")))
+        steps.append(self.parse_step())
+        while self.at_symbol("/", "//"):
+            if self.advance().value == "//":
+                steps.append(ast.Step(ast.Axis.DESCENDANT_OR_SELF,
+                                      ast.KindTest("node")))
+            steps.append(self.parse_step())
+        return ast.LocationPath(steps=tuple(steps), absolute=absolute)
+
+    def parse_step(self) -> ast.Step:
+        if self.at_symbol("."):
+            self.advance()
+            return ast.Step(ast.Axis.SELF, ast.KindTest("node"),
+                            self.parse_predicates())
+        if self.at_symbol(".."):
+            self.advance()
+            return ast.Step(ast.Axis.PARENT, ast.KindTest("node"),
+                            self.parse_predicates())
+        axis = ast.Axis.CHILD
+        if self.at_symbol("@"):
+            self.advance()
+            axis = ast.Axis.ATTRIBUTE
+        elif (self.current.kind == NAME
+              and self.tokens[self.index + 1].kind == SYMBOL
+              and self.tokens[self.index + 1].value == "::"):
+            name = self.advance().value
+            self.advance()
+            if name not in _AXES:
+                raise self.error(f"unknown axis {name!r}")
+            axis = _AXES[name]
+        test = self.parse_node_test(axis)
+        return ast.Step(axis, test, self.parse_predicates())
+
+    def parse_node_test(self, axis: ast.Axis) -> ast.NodeTest:
+        if self.at_symbol("*"):
+            self.advance()
+            return ast.WildcardTest()
+        token = self.expect(NAME)
+        if (token.value in _KIND_TESTS and self.at_symbol("(")):
+            self.advance()
+            self.expect(SYMBOL, ")")
+            return ast.KindTest(token.value)
+        return ast.NameTest(token.value)
+
+    def parse_predicates(self) -> tuple[ast.Expr, ...]:
+        predicates: list[ast.Expr] = []
+        while self.at_symbol("["):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect(SYMBOL, "]")
+        return tuple(predicates)
+
+    # -- primaries ------------------------------------------------------------------
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(float(token.value))
+        if token.kind == SYMBOL and token.value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(SYMBOL, ")")
+            return inner
+        if token.kind == NAME:
+            nxt = self.tokens[self.index + 1]
+            if nxt.kind == SYMBOL and nxt.value == "(":
+                return self.parse_function_call()
+        raise self.error(f"unexpected token {token.value or token.kind!r}")
+
+    def parse_function_call(self) -> ast.FunctionCall:
+        name = self.expect(NAME).value
+        self.expect(SYMBOL, "(")
+        args: list[ast.Expr] = []
+        if not self.at_symbol(")"):
+            args.append(self.parse_expr())
+            while self.at_symbol(","):
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(SYMBOL, ")")
+        return ast.FunctionCall(name, tuple(args))
+
+
+def parse_xpath(text: str) -> ast.Expr:
+    """Parse an XPath expression.  Raises
+    :class:`~repro.errors.QuerySyntaxError` on bad input or trailing
+    garbage."""
+    parser = XPathParser(tokenize(text))
+    expr = parser.parse_expr()
+    if parser.current.kind != EOF:
+        raise QuerySyntaxError(
+            f"unexpected trailing input {parser.current.value!r}",
+            position=parser.current.position)
+    return expr

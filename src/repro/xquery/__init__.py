@@ -1,0 +1,23 @@
+"""XQuery frontend: the paper's non-recursive FLWOR fragment.
+
+Section 3.1 restricts the algebra to "a subclass of XQuery that does not
+include recursive functions" — exactly what this package parses and
+interprets:
+
+* FLWOR expressions (``for`` / ``let`` / ``where`` / ``order by`` /
+  ``return``), the only construct that introduces variables (Section 3.2);
+* direct element and attribute constructors with enclosed expressions
+  (the source of :class:`~repro.algebra.schema_tree.SchemaTree`);
+* path expressions, optionally rooted at ``document("...")``/``doc()`` or a
+  variable;
+* conditionals, sequences, ranges, comparisons, arithmetic, and the core
+  function library shared with XPath.
+
+:mod:`repro.xquery.interpreter` is the reference implementation the
+algebraic evaluation strategies are differential-tested against.
+"""
+
+from repro.xquery.parser import parse_xquery
+from repro.xquery.interpreter import evaluate_xquery
+
+__all__ = ["parse_xquery", "evaluate_xquery"]

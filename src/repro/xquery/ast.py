@@ -1,0 +1,199 @@
+"""Abstract syntax for the XQuery fragment (extends the XPath AST).
+
+The XPath node classes are reused unchanged for paths and operators; this
+module adds the XQuery-only forms: FLWOR, constructors, variables, rooted
+paths, conditionals, sequences and ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.xpath import ast as xp
+
+__all__ = [
+    "VarRef",
+    "PathFrom",
+    "ForClause",
+    "LetClause",
+    "OrderSpec",
+    "FLWOR",
+    "EnclosedExpr",
+    "AttributeValue",
+    "ElementConstructor",
+    "IfExpr",
+    "SequenceExpr",
+    "RangeExpr",
+    "QuantifiedExpr",
+    "Expr",
+]
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class PathFrom:
+    """A path rooted at an arbitrary expression: ``$b/title``,
+    ``document("bib.xml")/bib/book``."""
+
+    source: "Expr"
+    path: xp.LocationPath
+
+    def __str__(self) -> str:
+        return f"{self.source}/{self.path}"
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``for $var in expr`` — one binding; iterates item by item.
+
+    ``position_var`` carries ``at $i`` when present.
+    """
+
+    variable: str
+    expr: "Expr"
+    position_var: Optional[str] = None
+
+    def __str__(self) -> str:
+        at = f" at ${self.position_var}" if self.position_var else ""
+        return f"for ${self.variable}{at} in {self.expr}"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    """``let $var := expr`` — binds the whole sequence."""
+
+    variable: str
+    expr: "Expr"
+
+    def __str__(self) -> str:
+        return f"let ${self.variable} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ``order by`` key."""
+
+    expr: "Expr"
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr}{' descending' if self.descending else ''}"
+
+
+@dataclass(frozen=True)
+class FLWOR:
+    """A FLWOR expression — "the only kind of expression that can
+    introduce new variables" (Section 3.2)."""
+
+    clauses: tuple[Union[ForClause, LetClause], ...]
+    where: Optional["Expr"]
+    order_by: tuple[OrderSpec, ...]
+    return_expr: "Expr"
+
+    def __str__(self) -> str:
+        parts = [str(clause) for clause in self.clauses]
+        if self.where is not None:
+            parts.append(f"where {self.where}")
+        if self.order_by:
+            keys = ", ".join(str(spec) for spec in self.order_by)
+            parts.append(f"order by {keys}")
+        parts.append(f"return {self.return_expr}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class EnclosedExpr:
+    """``{ expr }`` inside a constructor — the placeholder leaves of the
+    paper's SchemaTree (Fig. 1b)."""
+
+    expr: "Expr"
+
+    def __str__(self) -> str:
+        return f"{{{self.expr}}}"
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """An attribute value template: literal text and enclosed expressions."""
+
+    parts: tuple[Union[str, EnclosedExpr], ...]
+
+    def __str__(self) -> str:
+        return "".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """A direct element constructor ``<tag a="v">content</tag>``."""
+
+    tag: str
+    attributes: tuple[tuple[str, AttributeValue], ...] = ()
+    children: tuple[Union[str, EnclosedExpr, "ElementConstructor"], ...] = ()
+
+    def __str__(self) -> str:
+        attrs = "".join(f' {name}="{value}"'
+                        for name, value in self.attributes)
+        inner = "".join(str(child) for child in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    """``if (cond) then e1 else e2``."""
+
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+    def __str__(self) -> str:
+        return (f"if ({self.condition}) then {self.then_branch} "
+                f"else {self.else_branch}")
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    """``e1, e2, ...`` — sequence concatenation."""
+
+    items: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class RangeExpr:
+    """``e1 to e2`` — an integer range sequence."""
+
+    low: "Expr"
+    high: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.low} to {self.high}"
+
+
+@dataclass(frozen=True)
+class QuantifiedExpr:
+    """``some/every $v in expr satisfies expr``."""
+
+    quantifier: str          # "some" | "every"
+    variable: str
+    source: "Expr"
+    condition: "Expr"
+
+    def __str__(self) -> str:
+        return (f"{self.quantifier} ${self.variable} in {self.source} "
+                f"satisfies {self.condition}")
+
+
+Expr = Union[xp.Expr, VarRef, PathFrom, FLWOR, ElementConstructor, IfExpr,
+             SequenceExpr, RangeExpr, QuantifiedExpr, EnclosedExpr]

@@ -1,0 +1,116 @@
+"""XQuery-level function library (on top of the shared XPath core).
+
+Adds the sequence/document functions the FLWOR fragment needs:
+``doc``/``document``, ``data``, ``distinct-values``, ``empty``, ``exists``,
+``avg``, ``min``, ``max``, ``string-join``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExecutionError, QueryTypeError
+from repro.xml import model
+from repro.xpath.semantics import number_value, string_value
+
+__all__ = ["XQUERY_FUNCTIONS", "atomize_item", "atomize"]
+
+
+def atomize_item(item):
+    """Typed value of one item: nodes give their string value, atomics
+    pass through."""
+    if isinstance(item, model.Node):
+        return item.string_value()
+    return item
+
+
+def atomize(sequence) -> list:
+    """Atomize a whole sequence."""
+    if not isinstance(sequence, list):
+        return [sequence]
+    return [atomize_item(item) for item in sequence]
+
+
+def _as_sequence(value) -> list:
+    return value if isinstance(value, list) else [value]
+
+
+def _fn_doc(ev, ctx, args, call):
+    uri = string_value(args[0])
+    document = ev.documents.get(uri)
+    if document is None:
+        raise ExecutionError(f"document {uri!r} is not loaded")
+    return [document]
+
+
+def _fn_data(ev, ctx, args, call):
+    return atomize(args[0])
+
+
+def _fn_distinct_values(ev, ctx, args, call):
+    seen = set()
+    out = []
+    for value in atomize(args[0]):
+        key = value
+        if key not in seen:
+            seen.add(key)
+            out.append(value)
+    return out
+
+
+def _fn_empty(ev, ctx, args, call):
+    return len(_as_sequence(args[0])) == 0
+
+
+def _fn_exists(ev, ctx, args, call):
+    return len(_as_sequence(args[0])) > 0
+
+
+def _numbers(value, name: str) -> list[float]:
+    items = atomize(_as_sequence(value))
+    numbers = [number_value(item) for item in items]
+    if any(n != n for n in numbers):
+        raise QueryTypeError(f"{name}() over non-numeric values")
+    return numbers
+
+
+def _fn_avg(ev, ctx, args, call):
+    numbers = _numbers(args[0], "avg")
+    if not numbers:
+        return []
+    return sum(numbers) / len(numbers)
+
+
+def _fn_min(ev, ctx, args, call):
+    numbers = _numbers(args[0], "min")
+    if not numbers:
+        return []
+    return min(numbers)
+
+
+def _fn_max(ev, ctx, args, call):
+    numbers = _numbers(args[0], "max")
+    if not numbers:
+        return []
+    return max(numbers)
+
+
+def _fn_string_join(ev, ctx, args, call):
+    separator = string_value(args[1]) if len(args) > 1 else ""
+    return separator.join(string_value([item]) if isinstance(item, model.Node)
+                          else string_value(item)
+                          for item in _as_sequence(args[0]))
+
+
+XQUERY_FUNCTIONS: dict[str, Callable] = {
+    "doc": _fn_doc,
+    "document": _fn_doc,
+    "data": _fn_data,
+    "distinct-values": _fn_distinct_values,
+    "empty": _fn_empty,
+    "exists": _fn_exists,
+    "avg": _fn_avg,
+    "min": _fn_min,
+    "max": _fn_max,
+    "string-join": _fn_string_join,
+}

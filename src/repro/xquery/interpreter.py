@@ -1,0 +1,325 @@
+"""Reference XQuery interpreter: direct FLWOR semantics over model trees.
+
+This extends the XPath reference evaluator with the XQuery forms.  Its
+FLWOR evaluation is the *tuple-stream* reading of the paper's ``Env`` sort
+(Definition 3): every clause refines a list of variable-binding tuples —
+one tuple per root-to-leaf path of the layered environment of Fig. 2 — and
+the return expression runs once per tuple.
+
+Like :mod:`repro.xpath.semantics`, this is ground truth: the algebraic
+strategies (pipelined, join-based, TPM) are differential-tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExecutionError, QueryTypeError
+from repro.xml import model
+from repro.xpath import ast as xp
+from repro.xpath.semantics import (
+    Context,
+    XPathEvaluator,
+    effective_boolean_value,
+    number_value,
+    string_value,
+)
+from repro.xquery import ast as xq
+from repro.xquery.functions import XQUERY_FUNCTIONS, atomize_item
+
+__all__ = ["XQueryInterpreter", "evaluate_xquery", "clone_node",
+           "sequence_to_string"]
+
+
+def clone_node(node: model.Node) -> model.Node:
+    """Deep-copy a node for insertion into a constructed tree (XQuery
+    constructor content is copied, never moved)."""
+    if isinstance(node, model.Document):
+        copy = model.Document(uri=node.uri)
+        for child in node.children():
+            copy.append(clone_node(child))
+        return copy
+    if isinstance(node, model.Element):
+        copy = model.Element(node.tag)
+        for attribute in node.attributes():
+            copy.set_attribute(attribute.attr_name, attribute.value)
+        for child in node.children():
+            copy.append(clone_node(child))
+        return copy
+    if isinstance(node, model.Text):
+        return model.Text(node.value)
+    if isinstance(node, model.Comment):
+        return model.Comment(node.value)
+    if isinstance(node, model.ProcessingInstruction):
+        return model.ProcessingInstruction(node.target, node.data)
+    if isinstance(node, model.Attribute):
+        return model.Attribute(node.attr_name, node.value)
+    raise ExecutionError(f"cannot copy {node!r}")  # pragma: no cover
+
+
+class XQueryInterpreter(XPathEvaluator):
+    """Evaluates XQuery ASTs.  ``documents`` maps URIs for ``doc()``."""
+
+    def __init__(self, documents: Optional[dict[str, model.Document]] = None):
+        self.documents = documents if documents is not None else {}
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def evaluate(self, expr, context: Context):
+        if isinstance(expr, xq.VarRef):
+            if expr.name not in context.variables:
+                raise ExecutionError(f"undefined variable ${expr.name}")
+            return context.variables[expr.name]
+        if isinstance(expr, xq.PathFrom):
+            return self.evaluate_path_from(expr, context)
+        if isinstance(expr, xq.FLWOR):
+            return self.evaluate_flwor(expr, context)
+        if isinstance(expr, xq.ElementConstructor):
+            return [self.construct_element(expr, context)]
+        if isinstance(expr, xq.IfExpr):
+            condition = effective_boolean_value(
+                self.evaluate(expr.condition, context))
+            branch = expr.then_branch if condition else expr.else_branch
+            return self.evaluate(branch, context)
+        if isinstance(expr, xq.SequenceExpr):
+            out: list = []
+            for item in expr.items:
+                out.extend(self.as_sequence(self.evaluate(item, context)))
+            return out
+        if isinstance(expr, xq.RangeExpr):
+            low = number_value(self.evaluate(expr.low, context))
+            high = number_value(self.evaluate(expr.high, context))
+            if low != low or high != high:
+                raise QueryTypeError("range bounds must be numeric")
+            return [float(i) for i in range(int(low), int(high) + 1)]
+        if isinstance(expr, xq.QuantifiedExpr):
+            return self.evaluate_quantified(expr, context)
+        if isinstance(expr, xq.EnclosedExpr):
+            return self.evaluate(expr.expr, context)
+        return super().evaluate(expr, context)
+
+    def evaluate_function(self, call: xp.FunctionCall, context: Context):
+        handler = XQUERY_FUNCTIONS.get(call.name)
+        if handler is not None:
+            args = [self.evaluate(arg, context) for arg in call.args]
+            return handler(self, context, args, call)
+        return super().evaluate_function(call, context)
+
+    @staticmethod
+    def as_sequence(value) -> list:
+        return value if isinstance(value, list) else [value]
+
+    # -- rooted paths ----------------------------------------------------------------
+
+    def evaluate_path_from(self, expr: xq.PathFrom, context: Context):
+        source = self.evaluate(expr.source, context)
+        nodes = self.as_sequence(source)
+        for item in nodes:
+            if not isinstance(item, model.Node):
+                raise QueryTypeError(
+                    f"path step applied to non-node {item!r}")
+        result = list(nodes)
+        for step in expr.path.steps:
+            result = self.evaluate_step(step, result, context)
+        return result
+
+    # -- FLWOR --------------------------------------------------------------------------
+
+    def evaluate_flwor(self, flwor: xq.FLWOR, context: Context) -> list:
+        bindings = [dict(context.variables)]
+        for clause in flwor.clauses:
+            bindings = self._apply_clause(clause, bindings, context)
+        if flwor.where is not None:
+            bindings = [
+                binding for binding in bindings
+                if effective_boolean_value(self.evaluate(
+                    flwor.where, self._context_with(context, binding)))]
+        if flwor.order_by:
+            bindings = self._order(flwor.order_by, bindings, context)
+        output: list = []
+        for binding in bindings:
+            value = self.evaluate(flwor.return_expr,
+                                  self._context_with(context, binding))
+            output.extend(self.as_sequence(value))
+        return output
+
+    def _apply_clause(self, clause, bindings: list[dict],
+                      context: Context) -> list[dict]:
+        expanded: list[dict] = []
+        if isinstance(clause, xq.ForClause):
+            for binding in bindings:
+                value = self.evaluate(
+                    clause.expr, self._context_with(context, binding))
+                for position, item in enumerate(self.as_sequence(value),
+                                                start=1):
+                    child = dict(binding)
+                    child[clause.variable] = [item]
+                    if clause.position_var is not None:
+                        child[clause.position_var] = [float(position)]
+                    expanded.append(child)
+            return expanded
+        if isinstance(clause, xq.LetClause):
+            for binding in bindings:
+                value = self.evaluate(
+                    clause.expr, self._context_with(context, binding))
+                child = dict(binding)
+                child[clause.variable] = self.as_sequence(value)
+                expanded.append(child)
+            return expanded
+        raise ExecutionError(f"unknown clause {clause!r}")  # pragma: no cover
+
+    def _order(self, specs, bindings: list[dict],
+               context: Context) -> list[dict]:
+        def key_for(binding: dict) -> tuple:
+            keys = []
+            for spec in specs:
+                value = self.evaluate(
+                    spec.expr, self._context_with(context, binding))
+                items = self.as_sequence(value)
+                if len(items) > 1:
+                    raise QueryTypeError(
+                        "order by key must be a single item")
+                atom = atomize_item(items[0]) if items else ""
+                number = number_value(atom)
+                if number == number:  # orderable as a number
+                    keys.append((0, number, ""))
+                else:
+                    keys.append((1, 0.0, string_value(atom)))
+            return tuple(keys)
+
+        decorated = [(key_for(binding), binding) for binding in bindings]
+        # Stable sorts from the least-significant key up honour per-key
+        # direction without needing comparable composite keys.
+        for position in range(len(specs) - 1, -1, -1):
+            reverse = specs[position].descending
+            decorated.sort(key=lambda row, p=position: row[0][p],
+                           reverse=reverse)
+        return [binding for _, binding in decorated]
+
+    @staticmethod
+    def _context_with(context: Context, binding: dict) -> Context:
+        return Context(context.node, context.position, context.size,
+                       binding)
+
+    # -- quantifiers -----------------------------------------------------------------------
+
+    def evaluate_quantified(self, expr: xq.QuantifiedExpr,
+                            context: Context) -> bool:
+        source = self.as_sequence(self.evaluate(expr.source, context))
+        results = []
+        for item in source:
+            binding = dict(context.variables)
+            binding[expr.variable] = [item]
+            results.append(effective_boolean_value(self.evaluate(
+                expr.condition, self._context_with(context, binding))))
+        if expr.quantifier == "some":
+            return any(results)
+        return all(results)
+
+    # -- constructors -------------------------------------------------------------------------
+
+    def construct_element(self, constructor: xq.ElementConstructor,
+                          context: Context) -> model.Element:
+        """Build a new element; the result is attached to a fresh document
+        so document-order operations work on constructed trees."""
+        element = self._build_element(constructor, context)
+        document = model.Document()
+        document.append(element)
+        return element
+
+    def _build_element(self, constructor: xq.ElementConstructor,
+                       context: Context) -> model.Element:
+        element = model.Element(constructor.tag)
+        for name, template in constructor.attributes:
+            element.set_attribute(name,
+                                  self._attribute_text(template, context))
+        for part in constructor.children:
+            if isinstance(part, str):
+                element.append_text(part)
+            elif isinstance(part, xq.ElementConstructor):
+                element.append(self._build_element(part, context))
+            elif isinstance(part, xq.EnclosedExpr):
+                value = self.evaluate(part.expr, context)
+                self._insert_content(element, self.as_sequence(value))
+            else:  # pragma: no cover - parser produces only these
+                raise ExecutionError(f"bad constructor part {part!r}")
+        return element
+
+    def _attribute_text(self, template: xq.AttributeValue,
+                        context: Context) -> str:
+        parts: list[str] = []
+        for part in template.parts:
+            if isinstance(part, str):
+                parts.append(part)
+            else:
+                value = self.evaluate(part.expr, context)
+                items = self.as_sequence(value)
+                parts.append(" ".join(
+                    string_value([item]) if isinstance(item, model.Node)
+                    else string_value(item) for item in items))
+        return "".join(parts)
+
+    def _insert_content(self, element: model.Element, items: list) -> None:
+        """XQuery content insertion: copy nodes, space-join adjacent
+        atomics into text."""
+        pending_atoms: list[str] = []
+
+        def flush() -> None:
+            if pending_atoms:
+                element.append_text(" ".join(pending_atoms))
+                pending_atoms.clear()
+
+        for item in items:
+            if isinstance(item, model.Attribute):
+                flush()
+                element.set_attribute(item.attr_name, item.value)
+            elif isinstance(item, model.Document):
+                flush()
+                for child in item.children():
+                    element.append(clone_node(child))
+            elif isinstance(item, model.Node):
+                flush()
+                element.append(clone_node(item))
+            else:
+                pending_atoms.append(string_value(item)
+                                     if not isinstance(item, str) else item)
+        flush()
+
+
+def sequence_to_string(sequence) -> str:
+    """Serialize an XQuery result sequence to text (nodes as XML, atomics
+    space-separated) — handy for examples and tests."""
+    from repro.xml.serializer import serialize
+
+    parts: list[str] = []
+    for item in (sequence if isinstance(sequence, list) else [sequence]):
+        if isinstance(item, model.Node):
+            parts.append(serialize(item))
+        else:
+            parts.append(string_value(item))
+    return " ".join(parts)
+
+
+def evaluate_xquery(text_or_ast,
+                    documents: Optional[dict[str, model.Document]] = None,
+                    context_node: Optional[model.Node] = None,
+                    variables: Optional[dict] = None) -> list:
+    """Evaluate an XQuery expression and return its result sequence.
+
+    ``documents`` provides the inputs for ``doc()``/``document()``; when it
+    holds exactly one document and no ``context_node`` is given, that
+    document also serves as the context item (so absolute paths work).
+    """
+    from repro.xquery.parser import parse_xquery
+
+    expr = (parse_xquery(text_or_ast) if isinstance(text_or_ast, str)
+            else text_or_ast)
+    documents = documents or {}
+    if context_node is None and len(documents) == 1:
+        context_node = next(iter(documents.values()))
+    if context_node is None:
+        context_node = model.Document()
+    interpreter = XQueryInterpreter(documents)
+    context = Context(context_node, variables=variables)
+    result = interpreter.evaluate(expr, context)
+    return result if isinstance(result, list) else [result]

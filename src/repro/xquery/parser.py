@@ -1,0 +1,435 @@
+"""Recursive-descent parser for the XQuery fragment.
+
+Extends :class:`repro.xpath.parser.XPathParser` with:
+
+* FLWOR expressions,
+* direct element constructors (parsed at character level, since element
+  content is not token-structured; enclosed ``{...}`` expressions are
+  recursively parsed as sub-expressions),
+* variables, rooted paths (``$v/p``, ``doc(...)/p``), conditionals,
+  quantified expressions, sequences, and ranges.
+
+Grammar (ExprSingle is the XQuery notion — no top-level commas)::
+
+    Expr        := ExprSingle ("," ExprSingle)*
+    ExprSingle  := FLWOR | IfExpr | Quantified | OrExpr
+    FLWOR       := (ForClause | LetClause)+ ("where" ExprSingle)?
+                   ("order" "by" OrderSpec ("," OrderSpec)*)?
+                   "return" ExprSingle
+    ForClause   := "for" "$"v ("at" "$"p)? "in" ExprSingle
+                   ("," "$"v ("at" "$"p)? "in" ExprSingle)*
+    LetClause   := "let" "$"v ":=" ExprSingle ("," ...)*
+    RangeExpr   := AdditiveExpr ("to" AdditiveExpr)?
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.xpath import ast as xp
+from repro.xpath.lexer import (
+    EOF,
+    NAME,
+    SYMBOL,
+    VARIABLE,
+    tokenize_tolerant,
+)
+from repro.xpath.parser import XPathParser
+from repro.xquery import ast as xq
+
+__all__ = ["parse_xquery", "XQueryParser"]
+
+
+class XQueryParser(XPathParser):
+    """Parses XQuery text (kept around for constructor re-scanning)."""
+
+    def __init__(self, text: str):
+        self.text = text
+        super().__init__(tokenize_tolerant(text))
+
+    # -- sequences ----------------------------------------------------------
+
+    def parse_expr(self) -> xq.Expr:
+        """Top-level Expr: comma-separated sequence."""
+        first = self.parse_expr_single()
+        if not self.at_symbol(","):
+            return first
+        items = [first]
+        while self.at_symbol(","):
+            self.advance()
+            items.append(self.parse_expr_single())
+        return xq.SequenceExpr(tuple(items))
+
+    def parse_expr_single(self) -> xq.Expr:
+        if self.at_name("for", "let") \
+                and self.tokens[self.index + 1].kind == VARIABLE:
+            return self.parse_flwor()
+        if self.at_name("if") and self.tokens[self.index + 1].kind == SYMBOL \
+                and self.tokens[self.index + 1].value == "(":
+            return self.parse_if()
+        if self.at_name("some", "every") \
+                and self.tokens[self.index + 1].kind == VARIABLE:
+            return self.parse_quantified()
+        return self.parse_or()
+
+    # XPath hooks: predicates and function arguments parse single
+    # expressions (commas separate arguments, not sequence items).
+    def parse_predicates(self) -> tuple:
+        predicates = []
+        while self.at_symbol("["):
+            self.advance()
+            predicates.append(self.parse_expr_single())
+            self.expect(SYMBOL, "]")
+        return tuple(predicates)
+
+    def parse_function_call(self) -> xp.FunctionCall:
+        name = self.expect(NAME).value
+        self.expect(SYMBOL, "(")
+        args = []
+        if not self.at_symbol(")"):
+            args.append(self.parse_expr_single())
+            while self.at_symbol(","):
+                self.advance()
+                args.append(self.parse_expr_single())
+        self.expect(SYMBOL, ")")
+        return xp.FunctionCall(name, tuple(args))
+
+    # -- FLWOR ------------------------------------------------------------------
+
+    def parse_flwor(self) -> xq.FLWOR:
+        clauses: list = []
+        while self.at_name("for", "let"):
+            keyword = self.advance().value
+            while True:
+                if keyword == "for":
+                    variable = self.expect(VARIABLE).value
+                    position_var = None
+                    if self.at_name("at"):
+                        self.advance()
+                        position_var = self.expect(VARIABLE).value
+                    self.expect(NAME, "in")
+                    clauses.append(xq.ForClause(
+                        variable, self.parse_expr_single(), position_var))
+                else:
+                    variable = self.expect(VARIABLE).value
+                    self.expect(SYMBOL, ":=")
+                    clauses.append(xq.LetClause(
+                        variable, self.parse_expr_single()))
+                if self.at_symbol(",") \
+                        and self.tokens[self.index + 1].kind == VARIABLE:
+                    self.advance()
+                    continue
+                break
+        where = None
+        if self.at_name("where"):
+            self.advance()
+            where = self.parse_expr_single()
+        order_by: list[xq.OrderSpec] = []
+        if self.at_name("order"):
+            self.advance()
+            self.expect(NAME, "by")
+            while True:
+                key = self.parse_expr_single()
+                descending = False
+                if self.at_name("descending"):
+                    descending = True
+                    self.advance()
+                elif self.at_name("ascending"):
+                    self.advance()
+                order_by.append(xq.OrderSpec(key, descending))
+                if self.at_symbol(","):
+                    self.advance()
+                    continue
+                break
+        self.expect(NAME, "return")
+        return_expr = self.parse_expr_single()
+        return xq.FLWOR(tuple(clauses), where, tuple(order_by), return_expr)
+
+    # -- conditionals / quantifiers ------------------------------------------------
+
+    def parse_if(self) -> xq.IfExpr:
+        self.expect(NAME, "if")
+        self.expect(SYMBOL, "(")
+        condition = self.parse_expr()
+        self.expect(SYMBOL, ")")
+        self.expect(NAME, "then")
+        then_branch = self.parse_expr_single()
+        self.expect(NAME, "else")
+        else_branch = self.parse_expr_single()
+        return xq.IfExpr(condition, then_branch, else_branch)
+
+    def parse_quantified(self) -> xq.QuantifiedExpr:
+        quantifier = self.advance().value
+        variable = self.expect(VARIABLE).value
+        self.expect(NAME, "in")
+        source = self.parse_expr_single()
+        self.expect(NAME, "satisfies")
+        condition = self.parse_expr_single()
+        return xq.QuantifiedExpr(quantifier, variable, source, condition)
+
+    # -- ranges (between comparison and additive) -------------------------------------
+
+    def parse_comparison(self) -> xq.Expr:
+        left = self.parse_range()
+        if self.at_symbol("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return xp.BinaryOp(op, left, self.parse_range())
+        return left
+
+    def parse_range(self) -> xq.Expr:
+        left = self.parse_additive()
+        if self.at_name("to"):
+            self.advance()
+            return xq.RangeExpr(left, self.parse_additive())
+        return left
+
+    # -- paths and primaries ------------------------------------------------------------
+
+    def parse_path_expr(self) -> xq.Expr:
+        if self.at_symbol("/", "//"):
+            return self.parse_location_path()
+        if self.at_symbol("<"):
+            return self.parse_constructor()
+        if self.current.kind == VARIABLE or self.is_function_start():
+            source = self.parse_primary()
+            return self.maybe_path_from(source)
+        if self.starts_step():
+            return self.parse_location_path()
+        return self.parse_primary()
+
+    def is_function_start(self) -> bool:
+        token = self.current
+        if token.kind != NAME:
+            return False
+        if token.value in ("text", "comment", "node"):
+            return False
+        nxt = self.tokens[self.index + 1]
+        return nxt.kind == SYMBOL and nxt.value == "("
+
+    def maybe_path_from(self, source: xq.Expr) -> xq.Expr:
+        """Attach a trailing relative path to a primary: ``$b/title``."""
+        if not self.at_symbol("/", "//"):
+            return source
+        steps: list[xp.Step] = []
+        while self.at_symbol("/", "//"):
+            if self.advance().value == "//":
+                steps.append(xp.Step(xp.Axis.DESCENDANT_OR_SELF,
+                                     xp.KindTest("node")))
+            steps.append(self.parse_step())
+        return xq.PathFrom(source, xp.LocationPath(tuple(steps),
+                                                   absolute=False))
+
+    def parse_primary(self) -> xq.Expr:
+        token = self.current
+        if token.kind == VARIABLE:
+            self.advance()
+            return xq.VarRef(token.value)
+        if token.kind == SYMBOL and token.value == "(":
+            self.advance()
+            if self.at_symbol(")"):
+                self.advance()
+                return xq.SequenceExpr(())
+            inner = self.parse_expr()
+            self.expect(SYMBOL, ")")
+            return inner
+        return super().parse_primary()
+
+    # -- constructors (character-level) ----------------------------------------------------
+
+    def parse_constructor(self) -> xq.ElementConstructor:
+        start = self.expect(SYMBOL, "<").position
+        constructor, end = _scan_constructor(self.text, start)
+        self._resume_at(end)
+        return constructor
+
+    def _resume_at(self, position: int) -> None:
+        """Re-tokenize the remaining text after a character-level scan."""
+        self.tokens = tokenize_tolerant(self.text[position:], base=position)
+        self.index = 0
+
+
+# -- character-level constructor scanning ----------------------------------------
+
+
+def _scan_constructor(text: str,
+                      start: int) -> tuple[xq.ElementConstructor, int]:
+    """Parse ``<tag ...>content</tag>`` starting at ``start`` (the ``<``).
+
+    Returns the constructor and the offset just past its end tag.
+    """
+    scanner = _CharScanner(text, start)
+    return scanner.element()
+
+
+class _CharScanner:
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str, pos: int):
+        self.text = text
+        self.pos = pos
+
+    def error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, position=self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def name(self) -> str:
+        start = self.pos
+        text = self.text
+        while self.pos < len(text) and (text[self.pos].isalnum()
+                                        or text[self.pos] in "_-.:"):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name in constructor")
+        return text[start:self.pos]
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r} in constructor")
+        self.pos += len(literal)
+
+    def element(self) -> tuple[xq.ElementConstructor, int]:
+        self.expect("<")
+        tag = self.name()
+        attributes: list[tuple[str, xq.AttributeValue]] = []
+        while True:
+            self.skip_ws()
+            ch = self.text[self.pos:self.pos + 1]
+            if ch == ">":
+                self.pos += 1
+                break
+            if self.text.startswith("/>", self.pos):
+                self.pos += 2
+                return (xq.ElementConstructor(tag, tuple(attributes), ()),
+                        self.pos)
+            name = self.name()
+            self.skip_ws()
+            self.expect("=")
+            self.skip_ws()
+            attributes.append((name, self.attribute_value()))
+        children = self.content(tag)
+        return (xq.ElementConstructor(tag, tuple(attributes),
+                                      tuple(children)), self.pos)
+
+    def attribute_value(self) -> xq.AttributeValue:
+        quote = self.text[self.pos:self.pos + 1]
+        if quote not in ("'", '"'):
+            raise self.error("attribute value must be quoted")
+        self.pos += 1
+        parts: list = []
+        buffer: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated attribute value")
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                break
+            if ch == "{":
+                if self.text.startswith("{{", self.pos):
+                    buffer.append("{")
+                    self.pos += 2
+                    continue
+                if buffer:
+                    parts.append("".join(buffer))
+                    buffer = []
+                parts.append(xq.EnclosedExpr(self.enclosed()))
+                continue
+            if self.text.startswith("}}", self.pos):
+                buffer.append("}")
+                self.pos += 2
+                continue
+            buffer.append(ch)
+            self.pos += 1
+        if buffer:
+            parts.append("".join(buffer))
+        return xq.AttributeValue(tuple(parts))
+
+    def content(self, tag: str) -> list:
+        children: list = []
+        buffer: list[str] = []
+
+        def flush(strip_boundary: bool) -> None:
+            if not buffer:
+                return
+            value = "".join(buffer)
+            buffer.clear()
+            if strip_boundary and not value.strip():
+                return
+            children.append(value)
+
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error(f"constructor <{tag}> is not closed")
+            if self.text.startswith("</", self.pos):
+                flush(strip_boundary=True)
+                self.pos += 2
+                closing = self.name()
+                if closing != tag:
+                    raise self.error(
+                        f"mismatched constructor end tag </{closing}> "
+                        f"(expected </{tag}>)")
+                self.skip_ws()
+                self.expect(">")
+                return children
+            ch = self.text[self.pos]
+            if ch == "<":
+                flush(strip_boundary=True)
+                child, end = _CharScanner(self.text, self.pos).element()
+                children.append(child)
+                self.pos = end
+                continue
+            if ch == "{":
+                if self.text.startswith("{{", self.pos):
+                    buffer.append("{")
+                    self.pos += 2
+                    continue
+                flush(strip_boundary=True)
+                children.append(xq.EnclosedExpr(self.enclosed()))
+                continue
+            if self.text.startswith("}}", self.pos):
+                buffer.append("}")
+                self.pos += 2
+                continue
+            buffer.append(ch)
+            self.pos += 1
+
+    def enclosed(self) -> xq.Expr:
+        """Parse ``{ expr }`` starting at the ``{``; returns the inner
+        expression parsed by a fresh XQuery parser."""
+        self.expect("{")
+        depth = 1
+        start = self.pos
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in "'\"":
+                closing = text.find(ch, self.pos + 1)
+                if closing < 0:
+                    raise self.error("unterminated string in enclosed "
+                                     "expression")
+                self.pos = closing + 1
+                continue
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    inner = text[start:self.pos]
+                    self.pos += 1
+                    return parse_xquery(inner)
+            self.pos += 1
+        raise self.error("unterminated enclosed expression")
+
+
+def parse_xquery(text: str) -> xq.Expr:
+    """Parse an XQuery expression.  Raises
+    :class:`~repro.errors.QuerySyntaxError` on bad input."""
+    parser = XQueryParser(text)
+    expr = parser.parse_expr()
+    if parser.current.kind != EOF:
+        raise QuerySyntaxError(
+            f"unexpected trailing input {parser.current.value!r}",
+            position=parser.current.position)
+    return expr

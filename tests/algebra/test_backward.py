@@ -1,0 +1,174 @@
+"""Tests for the backward (output-to-input) analysis — Section 6's
+planned work: free variables, demand propagation, dead-binding
+elimination, and end-to-end equivalence of pruned plans."""
+
+import pytest
+
+from repro.algebra.backward import (
+    analyze_schema_tree,
+    backward_translate,
+    free_variables,
+    prune_flwor,
+    required_variables,
+)
+from repro.algebra.plan import ExecutionContext, execute_plan
+from repro.algebra.schema_tree import extract_schema_tree
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+from repro.xquery import evaluate_xquery
+from repro.xquery.parser import parse_xquery
+
+BIB = """
+<bib>
+  <book year="1994"><title>TCP/IP</title><author>Stevens</author>
+    <price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title>
+    <author>Abiteboul</author><price>39.95</price></book>
+</bib>
+"""
+
+
+class TestFreeVariables:
+    @pytest.mark.parametrize("text,expected", [
+        ("$x", {"x"}),
+        ("$x + $y", {"x", "y"}),
+        ("$b/title", {"b"}),
+        ("/bib/book[@year = $y]", {"y"}),
+        ("count($s)", {"s"}),
+        ("1 + 2", set()),
+        ("($a, $b, 3)", {"a", "b"}),
+        ("$lo to $hi", {"lo", "hi"}),
+        ("if ($c) then $t else $e", {"c", "t", "e"}),
+        ("some $x in $src satisfies $x > $limit", {"src", "limit"}),
+        ("<a y='{$v}'>{$w}</a>", {"v", "w"}),
+    ])
+    def test_expressions(self, text, expected):
+        assert free_variables(parse_xquery(text)) == expected
+
+    def test_flwor_binds_its_variables(self):
+        expr = parse_xquery(
+            "for $x in $src let $y := $x/t return ($y, $outer)")
+        assert free_variables(expr) == {"src", "outer"}
+
+    def test_positional_variable_bound(self):
+        expr = parse_xquery("for $x at $i in $src return $i")
+        assert free_variables(expr) == {"src"}
+
+    def test_earlier_clause_shadows(self):
+        expr = parse_xquery("for $x in //a for $y in $x/b return $y")
+        assert free_variables(expr) == set()
+
+
+class TestPruneFlwor:
+    def test_dead_let_removed(self):
+        expr = parse_xquery(
+            "for $b in //book let $dead := //unused return $b/title")
+        pruned = prune_flwor(expr)
+        assert [c.variable for c in pruned.clauses] == ["b"]
+
+    def test_live_let_kept(self):
+        expr = parse_xquery(
+            "for $b in //book let $t := $b/title return $t")
+        assert prune_flwor(expr) is expr
+
+    def test_let_feeding_where_kept(self):
+        expr = parse_xquery(
+            "for $b in //book let $p := $b/price "
+            "where $p > 50 return $b/title")
+        assert len(prune_flwor(expr).clauses) == 2
+
+    def test_let_feeding_order_by_kept(self):
+        expr = parse_xquery(
+            "for $b in //book let $p := $b/price "
+            "order by $p return $b/title")
+        assert len(prune_flwor(expr).clauses) == 2
+
+    def test_let_feeding_later_live_let_kept(self):
+        expr = parse_xquery(
+            "for $b in //book let $a := $b/author let $n := count($a) "
+            "return $n")
+        assert len(prune_flwor(expr).clauses) == 3
+
+    def test_dead_chain_removed_entirely(self):
+        expr = parse_xquery(
+            "for $b in //book let $a := $b/author let $n := count($a) "
+            "return $b/title")
+        pruned = prune_flwor(expr)
+        assert [c.variable for c in pruned.clauses] == ["b"]
+
+    def test_for_clause_never_removed(self):
+        # Unused for-clauses change cardinality (2 books x N): keep them.
+        expr = parse_xquery(
+            "for $b in //book for $unused in 1 to 3 return $b/title")
+        assert len(prune_flwor(expr).clauses) == 2
+
+    def test_external_demand_keeps_let(self):
+        expr = parse_xquery(
+            "for $b in //book let $t := $b/title return $b")
+        pruned = prune_flwor(expr, demand={"t"})
+        assert len(pruned.clauses) == 2
+
+
+class TestSchemaAnalysis:
+    def test_demand_from_placeholders(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<r>{ for $b in //book let $t := $b/title let $a := $b/author "
+            "return <i>{$t}</i> }</r>"))
+        result_node = tree.root.children[0]
+        assert required_variables(result_node) == {"t"}
+
+    def test_analysis_prunes_phi(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<r>{ for $b in //book let $t := $b/title let $a := $b/author "
+            "return <i>{$t}</i> }</r>"))
+        analyzed = analyze_schema_tree(tree)
+        phi = analyzed.root.children[0].edge_expr
+        assert [c.variable for c in phi.clauses] == ["b", "t"]
+
+    def test_fig1_keeps_both_lets(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<results>{ for $b in //book let $t := $b/title "
+            "let $a := $b/author return <result>{$t}{$a}</result> "
+            "}</results>"))
+        analyzed = analyze_schema_tree(tree)
+        phi = analyzed.root.children[0].edge_expr
+        assert [c.variable for c in phi.clauses] == ["b", "t", "a"]
+
+
+class TestEndToEndEquivalence:
+    QUERIES = [
+        # A constructor whose comprehension carries a dead binding.
+        '<out>{ for $b in doc("bib.xml")/bib/book '
+        "let $t := $b/title let $dead := $b/author "
+        "return <e>{$t}</e> }</out>",
+        # Plain FLWOR with dead lets.
+        'for $b in doc("bib.xml")/bib/book let $x := $b/author '
+        "let $y := count($x) return $b/title",
+        # Nothing to prune.
+        'for $b in doc("bib.xml")/bib/book return $b/title',
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_pruned_plan_equals_reference(self, query):
+        documents = {"bib.xml": parse(BIB)}
+        expected = evaluate_xquery(query, documents=documents)
+        plan = backward_translate(parse_xquery(query))
+        result = execute_plan(plan, ExecutionContext(documents))
+        from repro.xml import model
+
+        def render(items):
+            out = []
+            for item in (items if isinstance(items, list)
+                         else list(items.children())):
+                out.append(serialize(item)
+                           if isinstance(item, model.Node) else item)
+            return out
+
+        assert render(result) == render(expected)
+
+    def test_pruning_reduces_work(self):
+        documents = {"bib.xml": parse(BIB)}
+        query = self.QUERIES[0]
+        plan = backward_translate(parse_xquery(query))
+        phi = plan.schema.root.children[0].edge_expr
+        assert "dead" not in [c.variable for c in phi.clauses]

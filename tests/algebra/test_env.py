@@ -1,0 +1,112 @@
+"""Tests for Env (Definition 3), including the Fig. 2 example."""
+
+from repro.algebra.env import Env
+
+
+def build_fig2_env():
+    """Example 1 / Fig. 2 of the paper:
+
+        for $a in E1, $b in E2
+        let $c := E3, $d := E4
+        for $e in E5
+
+    with E1 = (a1, a2, a3); E2 giving 2 items under a1, 1 under a2 and 3
+    under a3; E5 giving the per-branch leaf counts of Fig. 2
+    (e111..e113, e121, e122 | e211, e212 | e311, e312, e321..e323, e331).
+    """
+    env = Env()
+    env.extend_for("a", lambda b: ["a1", "a2", "a3"])
+
+    b_values = {"a1": ["b11", "b12"], "a2": ["b21"],
+                "a3": ["b31", "b32", "b33"]}
+    env.extend_for("b", lambda b: b_values[b["a"][0]])
+
+    env.extend_let("c", lambda b: ["c-" + b["b"][0]])
+    env.extend_let("d", lambda b: ["d-" + b["b"][0]])
+
+    e_counts = {"b11": 3, "b12": 2, "b21": 2, "b31": 2, "b32": 3, "b33": 1}
+    env.extend_for("e", lambda b: [f"e-{b['b'][0]}-{i}"
+                                   for i in range(e_counts[b["b"][0]])])
+    return env
+
+
+class TestFig2Example:
+    def test_thirteen_total_bindings(self):
+        """The paper: "This environment actually specifies 13 possible
+        value assignments ... to the five variables"."""
+        env = build_fig2_env()
+        assert env.binding_count() == 13
+
+    def test_schema_string(self):
+        """The nested-list schema of Example 1: ($a,($b,$c,$d,($e)))."""
+        env = build_fig2_env()
+        assert env.schema() == "($a,($b,$c,$d,($e)))"
+
+    def test_layer_widths(self):
+        env = build_fig2_env()
+        # 3 as, 6 bs, 6 cs, 6 ds, 13 es — exactly Fig. 2.
+        assert env.layer_sizes() == [3, 6, 6, 6, 13]
+
+    def test_bindings_have_all_variables(self):
+        env = build_fig2_env()
+        for binding in env.total_bindings():
+            assert set(binding) == {"a", "b", "c", "d", "e"}
+
+    def test_let_binds_whole_sequence_per_branch(self):
+        env = build_fig2_env()
+        first = next(env.total_bindings())
+        assert first["c"] == ["c-b11"]
+
+    def test_describe(self):
+        text = build_fig2_env().describe()
+        assert "total bindings: 13" in text
+        assert "$e" in text
+
+
+class TestEnvMechanics:
+    def test_empty_env_has_one_binding(self):
+        env = Env()
+        assert env.binding_count() == 1
+        assert list(env.total_bindings()) == [{}]
+
+    def test_for_over_empty_sequence_kills_branch(self):
+        env = Env()
+        env.extend_for("a", lambda b: [1, 2])
+        env.extend_for("b", lambda b: [] if b["a"] == [1] else ["x"])
+        assert env.binding_count() == 1
+        assert next(env.total_bindings())["a"] == [2]
+
+    def test_let_never_multiplies(self):
+        env = Env()
+        env.extend_for("a", lambda b: [1, 2, 3])
+        env.extend_let("s", lambda b: [10, 20, 30])
+        assert env.binding_count() == 3
+        assert all(binding["s"] == [10, 20, 30]
+                   for binding in env.total_bindings())
+
+    def test_where_layer_prunes(self):
+        env = Env()
+        env.extend_for("a", lambda b: [1, 2, 3, 4])
+        env.filter_where(lambda b: b["a"][0] % 2 == 0)
+        assert env.binding_count() == 2
+        assert [b["a"][0] for b in env.total_bindings()] == [2, 4]
+
+    def test_growth_after_where(self):
+        env = Env()
+        env.extend_for("a", lambda b: [1, 2, 3])
+        env.filter_where(lambda b: b["a"][0] != 2)
+        env.extend_for("b", lambda b: ["x", "y"])
+        assert env.binding_count() == 4
+
+    def test_cross_product_cardinality(self):
+        env = Env()
+        env.extend_for("x", lambda b: list(range(4)))
+        env.extend_for("y", lambda b: list(range(5)))
+        assert env.binding_count() == 20
+
+    def test_generators_see_outer_bindings(self):
+        env = Env()
+        env.extend_for("x", lambda b: [1, 2])
+        env.extend_for("y", lambda b: list(range(b["x"][0])))
+        # x=1 -> y in (0,); x=2 -> y in (0, 1): 3 bindings.
+        assert env.binding_count() == 3

@@ -1,0 +1,236 @@
+"""Tests for the Table-1 operators (logical reference implementations)."""
+
+import pytest
+
+from repro.algebra.nested import NestedList
+from repro.algebra.operators import (
+    Construct,
+    Navigate,
+    SelectTag,
+    SelectValue,
+    StructuralJoin,
+    TreePatternMatch,
+    ValueJoin,
+    compare_values,
+    operator_table,
+    storage_tag,
+)
+from repro.algebra.pattern_graph import REL_CHILD, REL_DESCENDANT, compile_path
+from repro.algebra.schema_tree import extract_schema_tree
+from repro.algebra.sorts import Sort, SortError
+from repro.xml.parser import parse
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_xpath
+from repro.xquery.parser import parse_xquery
+
+BIB = (
+    '<bib><book year="1994"><title>TCP/IP</title>'
+    "<author>Stevens</author><price>65.95</price></book>"
+    '<book year="2000"><title>Data on the Web</title>'
+    "<author>Abiteboul</author><author>Buneman</author>"
+    "<price>39.95</price></book></bib>"
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse(BIB)
+
+
+def nodes_of(doc, path):
+    return evaluate_xpath(path, doc)
+
+
+class TestStorageTag:
+    def test_tags(self, doc):
+        book = nodes_of(doc, "/bib/book")[0]
+        assert storage_tag(book) == "book"
+        assert storage_tag(next(book.attributes())) == "@year"
+        assert storage_tag(doc) == "#document"
+        title_text = nodes_of(doc, "//title/text()")[0]
+        assert storage_tag(title_text) == "#text"
+
+
+class TestCompareValues:
+    def test_numeric_literal(self):
+        assert compare_values(">", "65.95", 50)
+        assert not compare_values(">", "39.95", 50)
+        assert not compare_values(">", "not-a-number", 50)
+
+    def test_string_literal(self):
+        assert compare_values("=", "abc", "abc")
+        assert compare_values("!=", "abc", "x")
+        assert compare_values("<", "abc", "abd")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(Exception):
+            compare_values("~=", "a", "b")
+
+
+class TestStructureOperators:
+    def test_sigma_s(self, doc):
+        everything = list(doc.descendants())
+        titles = SelectTag("title").apply(everything)
+        assert len(titles) == 2
+        both = SelectTag({"title", "author"}).apply(everything)
+        assert len(both) == 5
+
+    def test_sigma_s_signature_enforced(self, doc):
+        with pytest.raises(SortError):
+            SelectTag("title").apply("not-a-list")
+
+    def test_join_s_child(self, doc):
+        books = nodes_of(doc, "//book")
+        titles = nodes_of(doc, "//title")
+        result = StructuralJoin(REL_CHILD).apply(books, titles)
+        assert result == titles
+
+    def test_join_s_descendant(self, doc):
+        bib = nodes_of(doc, "/bib")
+        texts = nodes_of(doc, "//text()")
+        result = StructuralJoin(REL_DESCENDANT).apply(bib, texts)
+        assert len(result) == len(texts)
+
+    def test_join_s_pairs(self, doc):
+        books = nodes_of(doc, "//book")
+        authors = nodes_of(doc, "//author")
+        pairs = StructuralJoin(REL_CHILD, pairs=True).apply(books, authors)
+        assert isinstance(pairs, NestedList)
+        assert len(list(pairs.tuples())) == 3
+
+    def test_join_s_attribute(self, doc):
+        books = nodes_of(doc, "//book")
+        years = nodes_of(doc, "//@year")
+        assert len(StructuralJoin("@").apply(books, years)) == 2
+
+    def test_pi_s_groups_per_input(self, doc):
+        books = nodes_of(doc, "//book")
+        grouped = Navigate(REL_CHILD, tags="author").apply(books)
+        assert isinstance(grouped, NestedList)
+        assert [len(group) for group in grouped] == [1, 2]
+
+    def test_pi_s_descendant(self, doc):
+        bib = nodes_of(doc, "/bib")
+        grouped = Navigate(REL_DESCENDANT).apply(bib)
+        assert grouped.leaf_count() == len(list(bib[0].descendants()))
+
+
+class TestValueOperators:
+    def test_sigma_v(self, doc):
+        prices = nodes_of(doc, "//price")
+        expensive = SelectValue(">", 50).apply(prices)
+        assert [p.string_value() for p in expensive] == ["65.95"]
+
+    def test_sigma_v_string(self, doc):
+        authors = nodes_of(doc, "//author")
+        match = SelectValue("=", "Buneman").apply(authors)
+        assert len(match) == 1
+
+    def test_join_v(self, doc):
+        authors = nodes_of(doc, "//author")
+        copies = nodes_of(doc, "//author")
+        assert len(ValueJoin("=").apply(authors, copies)) == 3
+        pairs = ValueJoin("=", pairs=True).apply(authors, copies)
+        assert len(list(pairs.tuples())) == 3
+
+
+class TestTreePatternMatch:
+    def run_tpm(self, doc, path):
+        pattern = compile_path(parse_xpath(path))
+        return TreePatternMatch().apply(doc, pattern)
+
+    def test_simple_path_matches_reference(self, doc):
+        result = self.run_tpm(doc, "/bib/book/title")
+        reference = nodes_of(doc, "/bib/book/title")
+        assert list(result) == reference
+
+    def test_descendant_path(self, doc):
+        result = self.run_tpm(doc, "//author")
+        assert list(result) == nodes_of(doc, "//author")
+
+    def test_branching_pattern(self, doc):
+        result = self.run_tpm(doc, "/bib/book[author]/title")
+        assert list(result) == nodes_of(doc, "/bib/book[author]/title")
+
+    def test_value_constraint(self, doc):
+        result = self.run_tpm(doc, "/bib/book[@year = '1994']/title")
+        assert [n.string_value() for n in result] == ["TCP/IP"]
+
+    def test_residual_predicate(self, doc):
+        result = self.run_tpm(doc, "/bib/book[author or editor]")
+        assert list(result) == nodes_of(doc, "/bib/book[author or editor]")
+
+    def test_unsatisfiable_pattern_empty(self, doc):
+        assert list(self.run_tpm(doc, "/bib/magazine")) == []
+
+    def test_output_is_deduplicated_document_order(self, doc):
+        result = self.run_tpm(doc, "//book[author]")
+        pres = [n.pre for n in result]
+        assert pres == sorted(set(pres))
+
+
+class TestConstruct:
+    def test_gamma_instantiates_fig1_schema(self, doc):
+        from repro.xquery.interpreter import XQueryInterpreter
+        from repro.xpath.semantics import Context
+
+        interpreter = XQueryInterpreter({"bib.xml": doc})
+
+        def evaluate(expr, binding):
+            if hasattr(expr, "parts"):  # attribute template
+                from repro.xquery import ast as xq
+                texts = []
+                for part in expr.parts:
+                    if isinstance(part, str):
+                        texts.append(part)
+                    else:
+                        value = interpreter.evaluate(
+                            part.expr, Context(doc, variables=binding))
+                        texts.append(" ".join(
+                            str(v) if not hasattr(v, "string_value")
+                            else v.string_value() for v in value))
+                return "".join(texts)
+            return interpreter.evaluate(expr, Context(doc,
+                                                      variables=binding))
+
+        def expand(phi, binding):
+            books = evaluate_xpath("/bib/book", doc)
+            for book in books:
+                yield {
+                    "b": [book],
+                    "t": evaluate_xpath("title", book),
+                    "a": evaluate_xpath("author", book),
+                }
+
+        schema = extract_schema_tree(parse_xquery(
+            '<results>{ for $b in document("bib.xml")/bib/book '
+            "let $t := $b/title let $a := $b/author "
+            "return <result>{$t}{$a}</result> }</results>"))
+        gamma = Construct(evaluate=evaluate, expand=expand)
+        output = gamma.apply(NestedList(), schema)
+        results = output.root
+        assert results.tag == "results"
+        inner = list(results.child_elements("result"))
+        assert len(inner) == 2
+        assert [c.tag for c in inner[1].child_elements()] == [
+            "title", "author", "author"]
+
+    def test_gamma_signature_enforced(self):
+        from repro.algebra.schema_tree import SchemaTree
+        gamma = Construct(evaluate=lambda e, b: [])
+        with pytest.raises(SortError):
+            gamma.apply("nope", SchemaTree())
+
+
+class TestOperatorTable:
+    def test_table_matches_paper(self):
+        rows = {row["operator"]: row for row in operator_table()}
+        assert set(rows) == {"sigma_s", "join_s", "pi_s", "sigma_v",
+                             "join_v", "tau", "gamma"}
+        assert rows["tau"]["signature"] == \
+            "Tree x PatternGraph -> NestedList"
+        assert rows["gamma"]["signature"] == \
+            "NestedList x SchemaTree -> Tree"
+        assert rows["pi_s"]["signature"] == "List -> NestedList"
+        assert rows["sigma_s"]["category"] == "structure-based"
+        assert rows["tau"]["category"] == "hybrid"

@@ -1,0 +1,220 @@
+"""Tests for PatternGraph (Definition 1) and XPath compilation."""
+
+import pytest
+
+from repro.algebra.pattern_graph import (
+    REL_ATTRIBUTE,
+    REL_CHILD,
+    REL_DESCENDANT,
+    REL_SIBLING,
+    PatternGraph,
+    UnsupportedPattern,
+    compile_path,
+)
+from repro.xpath.parser import parse_xpath
+
+
+def compiled(text, **kwargs):
+    return compile_path(parse_xpath(text), **kwargs)
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        """Section 3.2: /a[b][c] has four vertices (root, a, b, c) and
+        three parent-child arcs; a is the returning vertex."""
+        graph = compiled("/a[b][c]")
+        assert graph.vertex_count() == 4
+        assert len(graph.edges) == 3
+        assert all(edge.relation == REL_CHILD for edge in graph.edges)
+        outputs = graph.output_vertices()
+        assert len(outputs) == 1
+        assert outputs[0].label_text() == "a"
+
+    def test_add_edge_validation(self):
+        graph = PatternGraph()
+        v = graph.add_vertex("a")
+        with pytest.raises(ValueError):
+            graph.add_edge(v.vertex_id, 99, REL_CHILD)
+        w = graph.add_vertex("b")
+        with pytest.raises(ValueError):
+            graph.add_edge(v.vertex_id, w.vertex_id, "??")
+
+    def test_root_is_first_vertex(self):
+        graph = compiled("/bib/book")
+        assert graph.root == 0
+        assert graph.vertices[graph.root].kind == "any"
+
+
+class TestAxisCompilation:
+    def test_child_chain(self):
+        graph = compiled("/bib/book/title")
+        relations = [e.relation for e in graph.edges]
+        assert relations == [REL_CHILD, REL_CHILD, REL_CHILD]
+        labels = [graph.vertices[e.target].label_text()
+                  for e in graph.edges]
+        assert labels == ["bib", "book", "title"]
+
+    def test_descendant_collapses(self):
+        graph = compiled("//book")
+        assert [e.relation for e in graph.edges] == [REL_DESCENDANT]
+
+    def test_internal_descendant(self):
+        graph = compiled("/bib//title")
+        assert [e.relation for e in graph.edges] == [REL_CHILD,
+                                                     REL_DESCENDANT]
+
+    def test_attribute_edge(self):
+        graph = compiled("/book/@year")
+        assert graph.edges[-1].relation == REL_ATTRIBUTE
+        target = graph.vertices[graph.edges[-1].target]
+        assert target.kind == "attribute"
+        assert target.label_text() == "year"
+
+    def test_descendant_attribute(self):
+        graph = compiled("//@id")
+        assert graph.edges[-1].relation == REL_DESCENDANT
+        assert graph.vertices[graph.edges[-1].target].kind == "attribute"
+
+    def test_following_sibling_edge(self):
+        graph = compiled("/a/b/following-sibling::c")
+        assert graph.edges[-1].relation == REL_SIBLING
+
+    def test_wildcard_and_text(self):
+        graph = compiled("/a/*/text()")
+        middle = graph.vertices[graph.edges[1].target]
+        leaf = graph.vertices[graph.edges[2].target]
+        assert middle.labels is None and middle.kind == "element"
+        assert leaf.kind == "text"
+
+    def test_trailing_descendant(self):
+        graph = compiled("/a//node()")
+        assert graph.edges[-1].relation == REL_DESCENDANT
+        assert graph.vertices[graph.edges[-1].target].kind == "any"
+
+    def test_parent_axis_unsupported(self):
+        with pytest.raises(UnsupportedPattern):
+            compiled("/a/b/..")
+
+
+class TestPredicateCompilation:
+    def test_existence_predicate_branch(self):
+        graph = compiled("/bib/book[author]/title")
+        # book has two children: author (branch) and title (output).
+        book_vertex = graph.edges[1].target
+        children = graph.children_of(book_vertex)
+        labels = sorted(graph.vertices[e.target].label_text()
+                        for e in children)
+        assert labels == ["author", "title"]
+        author = next(graph.vertices[e.target] for e in children
+                      if graph.vertices[e.target].label_text() == "author")
+        assert not author.output
+
+    def test_value_constraint_on_self(self):
+        graph = compiled("/a/b[. = 'x']")
+        target = graph.vertices[graph.edges[-1].target]
+        assert target.value_constraints == (("=", "x"),)
+
+    def test_value_constraint_on_attribute(self):
+        graph = compiled("/book[@year = 1994]")
+        attr = next(v for v in graph.vertices.values()
+                    if v.kind == "attribute")
+        assert attr.value_constraints == (("=", 1994.0),)
+
+    def test_value_constraint_on_subpath(self):
+        graph = compiled("/bib/book[author/last = 'Stevens']")
+        last = next(v for v in graph.vertices.values()
+                    if v.labels == frozenset({"last"}))
+        assert last.value_constraints == (("=", "Stevens"),)
+
+    def test_flipped_comparison(self):
+        graph = compiled("/book[50 < price]")
+        price = next(v for v in graph.vertices.values()
+                     if v.labels == frozenset({"price"}))
+        assert price.value_constraints == ((">", 50.0),)
+
+    def test_and_distributes(self):
+        graph = compiled("/book[author and price > 10]")
+        price = next(v for v in graph.vertices.values()
+                     if v.labels == frozenset({"price"}))
+        assert price.value_constraints == ((">", 10.0),)
+        assert any(v.labels == frozenset({"author"})
+                   for v in graph.vertices.values())
+
+    def test_positional_predicate_rejected(self):
+        with pytest.raises(UnsupportedPattern):
+            compiled("/bib/book[2]")
+        with pytest.raises(UnsupportedPattern):
+            compiled("/bib/book[position() = 2]")
+        with pytest.raises(UnsupportedPattern):
+            compiled("/bib/book[count(author)]")
+
+    def test_positional_predicate_strict_rejected(self):
+        with pytest.raises(UnsupportedPattern):
+            compiled("/bib/book[2]", strict=True)
+
+    def test_or_predicate_residual(self):
+        graph = compiled("/book[author or editor]")
+        book = graph.vertices[graph.edges[-1].target]
+        assert len(book.residual) == 1
+        assert graph.has_residuals()
+
+    def test_boolean_function_residual(self):
+        graph = compiled("/book[not(author)]")
+        book = graph.vertices[graph.edges[-1].target]
+        assert len(book.residual) == 1
+
+    def test_nested_predicates(self):
+        graph = compiled("/bib/book[author[last]]")
+        labels = {v.label_text() for v in graph.vertices.values()}
+        assert {"bib", "book", "author", "last"} <= labels
+
+
+class TestClassification:
+    def test_nok_detection(self):
+        assert compiled("/a/b/c").is_nok()
+        assert compiled("/a/b/@x").is_nok()
+        assert not compiled("/a//c").is_nok()
+        assert not compiled("//a").is_nok()
+
+    def test_non_local_edges(self):
+        graph = compiled("/a//b//c")
+        assert len(graph.non_local_edges()) == 2
+
+    def test_describe_mentions_structure(self):
+        text = compiled("/a[b]/c[. = 'v']").describe()
+        assert "root" in text and "output" in text and "-/->" in text
+
+    def test_descendants_of(self):
+        graph = compiled("/a/b/c")
+        a_vertex = graph.edges[0].target
+        descendants = set(graph.descendants_of(a_vertex))
+        assert len(descendants) == 2
+
+    def test_parent_edge(self):
+        graph = compiled("/a/b")
+        b_vertex = graph.edges[-1].target
+        assert graph.parent_edge(b_vertex).relation == REL_CHILD
+        assert graph.parent_edge(graph.root) is None
+
+
+class TestMoreCompilation:
+    def test_descendant_then_sibling_unsupported(self):
+        with pytest.raises(UnsupportedPattern):
+            compiled("/a//following-sibling::b")
+
+    def test_vacuous_self_predicate_ignored(self):
+        graph = compiled("/a[.]")
+        assert graph.vertex_count() == 2
+
+    def test_multi_constraint_vertex(self):
+        graph = compiled("/a[. > 1][. < 9]")
+        target = graph.vertices[graph.edges[-1].target]
+        assert target.value_constraints == ((">", 1.0), ("<", 9.0))
+
+    def test_self_step_narrows_labels(self):
+        graph = compiled("/a/self::a")
+        target = graph.vertices[graph.edges[-1].target]
+        assert target.labels == frozenset({"a"})
+
+    def test_repr(self):
+        assert "outputs" in repr(compiled("/a/b"))

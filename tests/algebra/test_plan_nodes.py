@@ -1,0 +1,139 @@
+"""Unit tests for plan-node mechanics, EXPLAIN rendering, and logical
+execution corner cases not reached by the end-to-end suites."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.algebra.pattern_graph import compile_path
+from repro.algebra.plan import (
+    ContextInput,
+    EnvBuild,
+    Eval,
+    ExecutionContext,
+    ForEach,
+    Gamma,
+    PiStep,
+    Scan,
+    SigmaS,
+    SigmaV,
+    Tau,
+    execute_plan,
+    explain_plan,
+)
+from repro.algebra.schema_tree import extract_schema_tree
+from repro.xml.parser import parse
+from repro.xpath.parser import parse_xpath
+from repro.xquery.parser import parse_xquery
+
+DOC = parse("<r><a>1</a><a>2</a><b>3</b></r>")
+
+
+def ctx(**kwargs):
+    return ExecutionContext({"d.xml": DOC}, **kwargs)
+
+
+class TestDescribe:
+    def test_node_descriptions(self):
+        assert "Scan" in Scan(uri="d.xml").describe()
+        assert "Context" in ContextInput().describe()
+        assert "Eval" in Eval(expr=parse_xquery("1")).describe()
+        pattern = compile_path(parse_xpath("/r/a"))
+        tau = Tau(pattern=pattern, inputs=(Scan(),))
+        assert "NoK" in tau.describe()
+        general = Tau(pattern=compile_path(parse_xpath("//a")),
+                      inputs=(Scan(),))
+        assert "general" in general.describe()
+        assert "Pi[" in PiStep(relation="/",
+                               tags=frozenset({"a"})).describe()
+        assert "SigmaS" in SigmaS(tags=frozenset({"a"})).describe()
+        assert "SigmaV" in SigmaV(op=">", literal=1).describe()
+        env = EnvBuild(clauses=(("for", "x", Eval(expr=None)),),
+                       where=parse_xquery("1"))
+        assert "for $x" in env.describe()
+        assert "ForEach" in ForEach(
+            return_expr=parse_xquery("$x")).describe()
+        schema = extract_schema_tree(parse_xquery("<o>{$x}</o>"))
+        assert "Gamma" in Gamma(schema=schema, inputs=(env,)).describe()
+
+    def test_explain_indents_children(self):
+        plan = SigmaV(op=">", literal=1, inputs=(
+            PiStep(relation="/", tags=frozenset({"a"}),
+                   inputs=(Scan(uri="d.xml"),)),))
+        text = explain_plan(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("SigmaV")
+        assert lines[1].startswith("  Pi")
+        assert lines[2].startswith("    Scan")
+
+
+class TestExecutionCorners:
+    def test_scan_unknown_uri(self):
+        with pytest.raises(ExecutionError):
+            execute_plan(Scan(uri="ghost.xml"), ctx())
+
+    def test_scan_without_context(self):
+        empty = ExecutionContext({})
+        with pytest.raises(ExecutionError):
+            execute_plan(Scan(), empty)
+
+    def test_context_input(self):
+        result = execute_plan(ContextInput(), ctx())
+        assert result == [DOC]
+
+    def test_sigma_s_on_pi_output(self):
+        plan = SigmaS(tags=frozenset({"a"}), inputs=(
+            PiStep(relation="/", tags=None, kind="element",
+                   inputs=(PiStep(relation="/", tags=frozenset({"r"}),
+                                  inputs=(Scan(uri="d.xml"),)),)),))
+        result = execute_plan(plan, ctx())
+        assert [n.tag for n in result] == ["a", "a"]
+
+    def test_sigma_v_filters(self):
+        plan = SigmaV(op=">", literal=1, inputs=(
+            PiStep(relation="//", tags=frozenset({"a"}),
+                   inputs=(Scan(uri="d.xml"),)),))
+        result = execute_plan(plan, ctx())
+        assert [n.string_value() for n in result] == ["2"]
+
+    def test_foreach_with_let_only(self):
+        env = EnvBuild(clauses=(("let", "s",
+                                 parse_xquery('doc("d.xml")//a')),))
+        plan = ForEach(return_expr=parse_xquery("count($s)"),
+                       inputs=(env,))
+        assert execute_plan(plan, ctx()) == [2.0]
+
+    def test_env_order_by_descending(self):
+        query = parse_xquery(
+            'for $a in doc("d.xml")//a order by $a descending return $a')
+        env = EnvBuild(clauses=(("for", "a", query.clauses[0].expr),),
+                       order_by=query.order_by)
+        plan = ForEach(return_expr=query.return_expr, inputs=(env,))
+        result = execute_plan(plan, ctx())
+        assert [n.string_value() for n in result] == ["2", "1"]
+
+    def test_unknown_plan_node_rejected(self):
+        class Bogus:
+            inputs = ()
+        with pytest.raises(ExecutionError):
+            execute_plan(Bogus(), ctx())
+
+    def test_replace_inputs_copies(self):
+        original = SigmaV(op="=", literal=1, inputs=(Scan(),))
+        replaced = original.replace_inputs((Scan(uri="other"),))
+        assert replaced is not original
+        assert replaced.inputs[0].uri == "other"
+        assert original.inputs[0].uri == ""
+
+    def test_gamma_without_phi_arc(self):
+        schema = extract_schema_tree(parse_xquery("<fixed>hi</fixed>"))
+        plan = Gamma(schema=schema, inputs=(EnvBuild(clauses=()),))
+        document = execute_plan(plan, ctx())
+        assert document.root.tag == "fixed"
+        assert document.root.string_value() == "hi"
+
+    def test_gamma_if_node(self):
+        schema = extract_schema_tree(parse_xquery(
+            "<o>{ if (1 > 2) then <yes/> else <no/> }</o>"))
+        plan = Gamma(schema=schema, inputs=(EnvBuild(clauses=()),))
+        document = execute_plan(plan, ctx())
+        assert [c.tag for c in document.root.child_elements()] == ["no"]

@@ -1,0 +1,89 @@
+"""Tests for SchemaTree (Definition 2) and the Fig. 1 extraction."""
+
+from repro.algebra.schema_tree import (
+    CONSTRUCTOR,
+    IF_NODE,
+    PLACEHOLDER,
+    TEXT_NODE,
+    extract_schema_tree,
+)
+from repro.xquery import ast as xq
+from repro.xquery.parser import parse_xquery
+
+FIG1_QUERY = (
+    '<results> {'
+    ' for $b in document("bib.xml")/bib/book'
+    ' let $t := $b/title'
+    ' let $a := $b/author'
+    ' return <result> {$t} {$a} </result>'
+    ' } </results>'
+)
+
+
+class TestFig1Extraction:
+    def test_shape_matches_fig_1b(self):
+        """Fig. 1(b): root `results`, under it `result` (zero or more,
+        via the phi arc), under that the $t and $a placeholders."""
+        tree = extract_schema_tree(parse_xquery(FIG1_QUERY))
+        root = tree.root
+        assert root.kind == CONSTRUCTOR and root.label == "results"
+        assert len(root.children) == 1
+        result = root.children[0]
+        assert result.kind == CONSTRUCTOR and result.label == "result"
+        assert result.occurrence == "*"
+        assert isinstance(result.edge_expr, xq.FLWOR)
+        placeholders = [c for c in result.children
+                        if c.kind == PLACEHOLDER]
+        assert len(placeholders) == 2
+        assert [str(p.expr) for p in placeholders] == ["$t", "$a"]
+
+    def test_phi_is_the_comprehension(self):
+        tree = extract_schema_tree(parse_xquery(FIG1_QUERY))
+        phi = tree.root.children[0].edge_expr
+        assert [c.variable for c in phi.clauses] == ["b", "t", "a"]
+
+    def test_describe_renders_fig_1b(self):
+        text = extract_schema_tree(parse_xquery(FIG1_QUERY)).describe()
+        assert "results" in text
+        assert "result*" in text
+        assert "{ $t }" in text and "{ $a }" in text
+        assert "phi" in text
+
+
+class TestOtherShapes:
+    def test_plain_constructor(self):
+        tree = extract_schema_tree(parse_xquery("<a><b/>hello</a>"))
+        root = tree.root
+        assert [c.kind for c in root.children] == [CONSTRUCTOR, TEXT_NODE]
+        assert root.children[1].text == "hello"
+
+    def test_attributes_recorded(self):
+        tree = extract_schema_tree(parse_xquery('<a x="1" y="{$v}"/>'))
+        assert [name for name, _ in tree.root.attributes] == ["x", "y"]
+
+    def test_if_node(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<out>{ if ($x) then <yes/> else <no/> }</out>"))
+        branch = tree.root.children[0]
+        assert branch.kind == IF_NODE
+        assert [c.label for c in branch.children] == ["yes", "no"]
+
+    def test_non_constructor_is_placeholder(self):
+        tree = extract_schema_tree(parse_xquery("//book"))
+        assert tree.root.kind == PLACEHOLDER
+
+    def test_placeholders_listing(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<a>{$x}<b>{$y}</b></a>"))
+        assert len(tree.placeholders()) == 2
+        assert len(tree.constructor_nodes()) == 2
+
+    def test_nested_flwor_arcs(self):
+        tree = extract_schema_tree(parse_xquery(
+            "<r>{ for $a in //x return <i>{ for $b in $a/y "
+            "return <j>{$b}</j> }</i> }</r>"))
+        outer = tree.root.children[0]
+        assert outer.occurrence == "*"
+        inner = [c for c in outer.children if c.kind == CONSTRUCTOR][0]
+        assert inner.occurrence == "*"
+        assert isinstance(inner.edge_expr, xq.FLWOR)

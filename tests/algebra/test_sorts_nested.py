@@ -1,0 +1,109 @@
+"""Tests for the sort system and the NestedList sort."""
+
+import pytest
+
+from repro.algebra.nested import NestedList
+from repro.algebra.sorts import Sort, SortError, check_signature, sort_of
+from repro.xml.model import Document, Element, Text
+
+
+class TestSortOf:
+    def test_atomics(self):
+        assert sort_of(3) is Sort.ITEM
+        assert sort_of("x") is Sort.ITEM
+        assert sort_of(True) is Sort.ITEM
+        assert sort_of(1.5) is Sort.ITEM
+
+    def test_nodes_and_trees(self):
+        doc = Document()
+        el = doc.append(Element("a"))
+        assert sort_of(doc) is Sort.TREE
+        assert sort_of(el) is Sort.TREE_NODE
+        assert sort_of(Text("t")) is Sort.TREE_NODE
+
+    def test_lists(self):
+        assert sort_of([]) is Sort.LIST
+        assert sort_of([Element("a"), Element("b")]) is Sort.LIST
+        assert sort_of([[1], 2]) is Sort.NESTED_LIST
+        assert sort_of(NestedList([1, 2])) is Sort.NESTED_LIST
+
+    def test_structured_sorts(self):
+        from repro.algebra.pattern_graph import PatternGraph
+        from repro.algebra.schema_tree import SchemaTree
+        from repro.algebra.env import Env
+        assert sort_of(PatternGraph()) is Sort.PATTERN_GRAPH
+        assert sort_of(SchemaTree()) is Sort.SCHEMA_TREE
+        assert sort_of(Env()) is Sort.ENV
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(SortError):
+            sort_of(object())
+
+    def test_check_signature_accepts_list_for_nested(self):
+        check_signature("op", (Sort.NESTED_LIST,), ([1, 2],))
+
+    def test_check_signature_rejects_wrong_sort(self):
+        with pytest.raises(SortError):
+            check_signature("op", (Sort.LIST,), ("scalar",))
+
+    def test_check_signature_arity(self):
+        with pytest.raises(SortError):
+            check_signature("op", (Sort.LIST,), ([], []))
+
+
+class TestNestedList:
+    def test_basic_container(self):
+        nl = NestedList([1, 2, 3])
+        assert len(nl) == 3
+        assert nl[1] == 2
+        assert list(nl) == [1, 2, 3]
+        assert nl == [1, 2, 3]
+
+    def test_slice_returns_nested_list(self):
+        nl = NestedList([1, 2, 3])
+        assert isinstance(nl[0:2], NestedList)
+
+    def test_depth(self):
+        assert NestedList().depth() == 1
+        assert NestedList([1, 2]).depth() == 1
+        assert NestedList([NestedList([1])]).depth() == 2
+        assert NestedList([NestedList([NestedList([1])]), 2]).depth() == 3
+
+    def test_is_flat(self):
+        assert NestedList([1, 2]).is_flat()
+        assert not NestedList([NestedList()]).is_flat()
+
+    def test_flatten(self):
+        nl = NestedList([1, NestedList([2, NestedList([3]), 4]), 5])
+        assert nl.flatten() == [1, 2, 3, 4, 5]
+        assert nl.leaf_count() == 5
+
+    def test_map_leaves_preserves_structure(self):
+        nl = NestedList([1, NestedList([2, 3])])
+        doubled = nl.map_leaves(lambda x: x * 2)
+        assert doubled.to_python() == [2, [4, 6]]
+
+    def test_filter_leaves(self):
+        nl = NestedList([1, NestedList([2, 3]), 4])
+        odd = nl.filter_leaves(lambda x: x % 2 == 1)
+        assert odd.to_python() == [1, [3]]
+
+    def test_tuples_view(self):
+        nl = NestedList.of_tuples([("t1", "a1"), ("t2", "a2")])
+        assert list(nl.tuples()) == [("t1", "a1"), ("t2", "a2")]
+        assert nl.depth() == 2
+
+    def test_atomic_items_become_1_tuples(self):
+        nl = NestedList(["x", NestedList(["y", "z"])])
+        assert list(nl.tuples()) == [("x",), ("y", "z")]
+
+    def test_group(self):
+        grouped = NestedList.group([("a", 1), ("a", 2), ("b", 3)])
+        assert grouped.to_python() == [["a", [1, 2]], ["b", [3]]]
+
+    def test_deep_flatten_is_iterative(self):
+        nl = NestedList([1])
+        for _ in range(3000):
+            nl = NestedList([nl])
+        assert nl.flatten() == [1]
+        assert nl.leaf_count() == 1

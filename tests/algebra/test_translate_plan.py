@@ -1,0 +1,213 @@
+"""Soundness tests: translated plans must match the reference interpreter.
+
+This is the paper's soundness property made executable: "the translation
+of XQuery expressions into algebraic expressions must be correct".
+"""
+
+import pytest
+
+from repro.algebra.plan import (
+    EnvBuild,
+    Eval,
+    ExecutionContext,
+    ForEach,
+    Gamma,
+    PiStep,
+    Scan,
+    SigmaV,
+    Tau,
+    execute_plan,
+    explain_plan,
+)
+from repro.algebra.nested import NestedList
+from repro.algebra.rewrite import (
+    DEFAULT_RULES,
+    FusePathsIntoTau,
+    LiftEvalToTau,
+    PushSelectionIntoTau,
+    rewrite_plan,
+)
+from repro.algebra.translate import translate, translate_path_naive
+from repro.xml import model
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+from repro.xquery import evaluate_xquery
+from repro.xquery.parser import parse_xquery
+
+BIB = """
+<bib>
+  <book year="1994"><title>TCP/IP</title>
+    <author><last>Stevens</last></author><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title>
+    <author><last>Abiteboul</last></author>
+    <author><last>Buneman</last></author><price>39.95</price></book>
+  <book year="1999"><title>Economics</title><price>129.95</price></book>
+</bib>
+"""
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {"bib.xml": parse(BIB)}
+
+
+def reference(query, documents):
+    return evaluate_xquery(query, documents=documents)
+
+
+def run_plan(query, documents, naive_paths=False, rewrite=False):
+    plan = translate(parse_xquery(query), naive_paths=naive_paths)
+    if rewrite:
+        plan = rewrite_plan(plan)
+    context = ExecutionContext(documents)
+    result = execute_plan(plan, context)
+    if isinstance(result, NestedList):
+        return result.flatten()
+    if isinstance(result, model.Document):
+        return list(result.children())
+    return result
+
+
+def assert_same_nodes(actual, expected):
+    def key(item):
+        if isinstance(item, model.Node):
+            return ("node", serialize(item) if item.document is None
+                    else item.pre)
+        return ("atom", item)
+    assert [key(a) for a in actual] == [key(e) for e in expected]
+
+
+QUERIES = [
+    "/bib/book/title",
+    "//author/last",
+    "/bib//last",
+    "/bib/book[@year = '1994']/title",
+    "/bib/book[price > 50]/title",
+    "/bib/book[author]/title",
+    "//book[author/last = 'Buneman']",
+    'for $b in doc("bib.xml")/bib/book return $b/title',
+    'for $b in doc("bib.xml")/bib/book where $b/price > 50 '
+    "return $b/title",
+    'for $b in doc("bib.xml")/bib/book order by $b/price descending '
+    "return $b/price",
+    'for $b in doc("bib.xml")/bib/book let $a := $b/author '
+    "where count($a) > 1 return $b/title",
+    "for $x in 1 to 3, $y in 1 to 2 return $x * 10 + $y",
+]
+
+
+class TestTranslationSoundness:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_plan_matches_reference(self, documents, query):
+        assert_same_nodes(run_plan(query, documents),
+                          reference(query, documents))
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_naive_plan_matches_reference(self, documents, query):
+        assert_same_nodes(run_plan(query, documents, naive_paths=True),
+                          reference(query, documents))
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_rewritten_plan_matches_reference(self, documents, query):
+        assert_same_nodes(
+            run_plan(query, documents, naive_paths=True, rewrite=True),
+            reference(query, documents))
+
+    def test_fig1_constructor_query(self, documents):
+        query = ('<results>{ for $b in document("bib.xml")/bib/book '
+                 "let $t := $b/title let $a := $b/author "
+                 "return <result>{$t}{$a}</result> }</results>")
+        plan = translate(parse_xquery(query))
+        assert isinstance(plan, Gamma)
+        context = ExecutionContext(documents)
+        output = execute_plan(plan, context)
+        expected = reference(query, documents)[0]
+        assert serialize(output.root) == serialize(expected)
+
+
+class TestPlanShapes:
+    def test_absolute_path_becomes_tau(self, documents):
+        plan = translate(parse_xquery("/bib/book/title"))
+        assert isinstance(plan, Tau)
+        assert isinstance(plan.inputs[0], Scan)
+        assert plan.pattern.is_nok()
+
+    def test_naive_path_becomes_pipeline(self):
+        plan = translate(parse_xquery("/bib/book/title"), naive_paths=True)
+        assert isinstance(plan, PiStep)
+        depth = 0
+        cursor = plan
+        while isinstance(cursor, PiStep):
+            depth += 1
+            cursor = cursor.inputs[0]
+        assert depth == 3
+        assert isinstance(cursor, Scan)
+
+    def test_doc_rooted_path_gets_scan_uri(self):
+        plan = translate(parse_xquery('doc("bib.xml")/bib/book'))
+        assert isinstance(plan, Tau)
+        assert plan.inputs[0].uri == "bib.xml"
+
+    def test_flwor_becomes_envbuild_foreach(self):
+        plan = translate(parse_xquery(
+            'for $b in doc("bib.xml")//book return $b/title'))
+        assert isinstance(plan, ForEach)
+        assert isinstance(plan.inputs[0], EnvBuild)
+        style, var, source = plan.inputs[0].clauses[0]
+        assert (style, var) == ("for", "b")
+        assert isinstance(source, Tau)
+
+    def test_out_of_fragment_falls_back_to_eval(self):
+        plan = translate(parse_xquery("1 + 2"))
+        assert isinstance(plan, Eval)
+
+    def test_explain_renders_tree(self, documents):
+        plan = translate(parse_xquery("/bib/book"), naive_paths=True)
+        text = explain_plan(plan)
+        assert "Pi[" in text and "Scan" in text
+
+
+class TestRewriteRules:
+    def test_fusion_collapses_whole_chain(self):
+        plan = translate(parse_xquery("/bib/book/title"), naive_paths=True)
+        fused = rewrite_plan(plan)
+        assert isinstance(fused, Tau)
+        assert isinstance(fused.inputs[0], Scan)
+        # bib -> book -> title plus the root: 4 vertices, no Pi left.
+        assert fused.pattern.vertex_count() == 4
+
+    def test_fusion_keeps_value_selections(self):
+        plan = translate(parse_xquery("/bib/book/price[. > 50]"),
+                         naive_paths=True)
+        fused = rewrite_plan(plan)
+        assert isinstance(fused, Tau)
+        price = [v for v in fused.pattern.vertices.values() if v.output][0]
+        assert price.value_constraints == ((">", 50.0),)
+
+    def test_push_selection_into_tau(self):
+        base = translate(parse_xquery("/bib/book/price"))
+        plan = SigmaV(op=">", literal=50.0, inputs=(base,))
+        pushed = rewrite_plan(plan, rules=(PushSelectionIntoTau(),))
+        assert isinstance(pushed, Tau)
+        output = [v for v in pushed.pattern.vertices.values()
+                  if v.output][0]
+        assert ((">", 50.0)) in output.value_constraints
+
+    def test_lift_eval(self):
+        plan = Eval(expr=parse_xquery("/bib/book"))
+        lifted = rewrite_plan(plan, rules=(LiftEvalToTau(),))
+        assert isinstance(lifted, Tau)
+
+    def test_lift_eval_leaves_uncompilable(self):
+        plan = Eval(expr=parse_xquery("/bib/book[2]"))
+        assert isinstance(rewrite_plan(plan, rules=(LiftEvalToTau(),)),
+                          Eval)
+
+    def test_fusion_no_op_without_scan(self):
+        plan = Eval(expr=parse_xquery("1"))
+        assert rewrite_plan(plan, rules=(FusePathsIntoTau(),)) is plan
+
+    def test_rewrite_terminates(self):
+        plan = translate(parse_xquery("//a/b/c/d/e/f"), naive_paths=True)
+        rewritten = rewrite_plan(plan)
+        assert isinstance(rewritten, (Tau, Eval))

@@ -1,0 +1,134 @@
+"""Failure injection: malformed inputs, degenerate documents, and
+unsatisfiable queries must fail cleanly (or return empty), never corrupt
+state or crash with non-library errors."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import (
+    ExecutionError,
+    QuerySyntaxError,
+    QueryTypeError,
+    ReproError,
+    XMLSyntaxError,
+)
+
+
+class TestMalformedInputs:
+    def test_malformed_xml_raises_cleanly(self):
+        database = Database()
+        with pytest.raises(XMLSyntaxError):
+            database.load("<a><b></a>", uri="bad.xml")
+        # The failed load must not leave a half-registered document.
+        with pytest.raises(ExecutionError):
+            database.document("bad.xml")
+
+    @pytest.mark.parametrize("query", [
+        "", "//", "/a[", "for $x in", "<a>{</a>", "1 +", "$",
+        "//a[@]", "let $x := 1", "some $x in //a",
+    ])
+    def test_malformed_queries_raise_syntax_errors(self, query):
+        database = Database()
+        database.load("<a/>", uri="a.xml")
+        with pytest.raises(QuerySyntaxError):
+            database.query(query)
+
+    def test_type_errors_are_library_errors(self):
+        database = Database()
+        database.load("<a/>", uri="a.xml")
+        with pytest.raises(ReproError):
+            database.query("count(1)")
+        with pytest.raises(ReproError):
+            database.query("let $x := 5 return $x/y")
+
+
+class TestDegenerateDocuments:
+    def test_single_element_document(self):
+        database = Database()
+        database.load("<only/>", uri="tiny.xml")
+        assert len(database.query("/only")) == 1
+        assert database.query("//anything").items == []
+        assert database.query("count(//only)").items == [1.0]
+
+    def test_document_with_only_attributes(self):
+        database = Database()
+        database.load('<r a="1" b="2"/>', uri="attrs.xml")
+        assert len(database.query("//@*")) == 2
+        result = database.query("/r[@a = '1']")
+        assert len(result) == 1
+
+    def test_deep_chain_document(self):
+        depth = 500
+        text = "".join(f"<n{i}>" for i in range(depth))
+        text += "end"
+        text += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        database = Database()
+        database.load(text, uri="deep.xml")
+        assert database.query(f"//n{depth - 1}").values() == ["end"]
+        assert len(database.query("//*")) == depth
+
+    def test_wide_document(self):
+        database = Database()
+        database.load("<r>" + "<i/>" * 2000 + "</r>", uri="wide.xml")
+        assert len(database.query("/r/i")) == 2000
+
+    def test_unicode_content(self):
+        database = Database()
+        database.load("<r><t>héllo wörld 漢字</t></r>", uri="u.xml")
+        assert database.query("//t").values() == ["héllo wörld 漢字"]
+        assert len(database.query("//t[. = 'héllo wörld 漢字']")) == 1
+        result = database.query("//t[. = 'héllo wörld 漢字']",
+                                strategy="index-scan")
+        assert len(result) == 1
+
+    def test_empty_elements_everywhere(self):
+        database = Database()
+        database.load("<r><a/><a></a><a/></r>", uri="e.xml")
+        assert len(database.query("//a")) == 3
+        assert database.query("//a/text()").items == []
+
+
+class TestUnsatisfiableQueries:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.load("<r><a><b>1</b></a></r>", uri="r.xml")
+        return database
+
+    @pytest.mark.parametrize("strategy", [
+        "nok", "partitioned", "structural-join", "twigstack",
+        "navigational",
+    ])
+    def test_missing_tag_empty_everywhere(self, db, strategy):
+        assert db.query("//ghost", strategy=strategy).items == []
+        assert db.query("//a/ghost", strategy=strategy).items == []
+        assert db.query("//ghost//a", strategy=strategy).items == []
+
+    def test_contradictory_value(self, db):
+        assert db.query("//b[. = 'nope']").items == []
+        assert db.query("//b[. > 100]").items == []
+
+    def test_impossible_structure(self, db):
+        assert db.query("//b[a]").items == []
+        assert db.query("//b/b/b/b").items == []
+
+    def test_flwor_over_empty(self, db):
+        result = db.query(
+            'for $x in doc("r.xml")//ghost return <hit>{$x}</hit>')
+        assert result.items == []
+
+
+class TestStateIsolation:
+    def test_failed_query_leaves_database_usable(self):
+        database = Database()
+        database.load("<a><b>1</b></a>", uri="a.xml")
+        with pytest.raises(ReproError):
+            database.query("frobnicate(//b)")
+        assert database.query("//b").values() == ["1"]
+
+    def test_counters_reset_per_query(self):
+        database = Database()
+        database.load("<a>" + "<b/>" * 100 + "</a>", uri="a.xml")
+        first = database.query("//b")
+        second = database.query("//b")
+        assert second.io["page_reads"] <= first.io["page_reads"] + 1

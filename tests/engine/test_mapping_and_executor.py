@@ -1,0 +1,122 @@
+"""Tests for model↔storage alignment and the physical executor plumbing."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.mapping import storage_node_list, storage_preorder_map
+from repro.xml.model import Document, Element, Text
+from repro.xml.parser import parse
+
+
+class TestMapping:
+    def test_alignment_with_succinct_numbering(self):
+        text = ('<a x="1" y="2">t1<b z="3">t2</b>t3<!--c--><?p d?></a>')
+        tree = parse(text, keep_whitespace=True)
+        database = Database()
+        document = database.load_tree(tree, uri="m.xml")
+        node_list = storage_node_list(tree)
+        assert len(node_list) == document.succinct.node_count
+        from repro.algebra.operators import storage_tag
+        for preorder, node in enumerate(node_list):
+            assert storage_tag(node) == document.succinct.tag(preorder), \
+                preorder
+
+    def test_adjacent_texts_merge_to_one_storage_node(self):
+        tree = Document()
+        root = tree.append(Element("r"))
+        first = root.append(Text("a"))
+        second = root.append(Text("b"))  # bypasses append_text merging
+        mapping = storage_preorder_map(tree)
+        assert mapping[first.node_id] == mapping[second.node_id]
+        node_list = storage_node_list(tree)
+        assert len(node_list) == 3  # document, r, merged text
+
+    def test_map_round_trips(self):
+        tree = parse("<a><b/><c><d/></c></a>")
+        mapping = storage_preorder_map(tree)
+        node_list = storage_node_list(tree)
+        for node_id, preorder in mapping.items():
+            assert node_list[preorder].node_id == node_id
+
+
+class TestSharedScan:
+    def test_multiple_matchers_one_pass(self):
+        from repro.algebra.pattern_graph import compile_path
+        from repro.physical.nok import NoKMatcher, run_shared_scan
+        from repro.xpath.parser import parse_xpath
+
+        database = Database()
+        database.load(
+            "<r><a><x>1</x></a><b><x>2</x></b><a><y/></a></r>",
+            uri="s.xml")
+        runtime = database.document().runtime
+
+        anchored = NoKMatcher(compile_path(parse_xpath("/r/a")),
+                              anchored=True)
+        floating_pattern = compile_path(parse_xpath("/r/b"))
+        # Make the b-partition unanchored at its 'b' vertex like the
+        # partitioner would: take the subpattern rooted at b.
+        from repro.physical.partition import partition_pattern
+        floating = partition_pattern(
+            compile_path(parse_xpath("//x")))[1]
+        floating.pattern.vertices[floating.pattern.root].output = True
+        matcher_b = NoKMatcher(floating.pattern, anchored=False)
+
+        results = run_shared_scan(runtime, [anchored, matcher_b])
+        a_output = anchored.pattern.output_vertices()[0].vertex_id
+        a_matches = sorted({b[a_output] for b in results[0]
+                            if a_output in b})
+        x_matches = sorted({node for b in results[1]
+                            for node in b.values()})
+        assert len(a_matches) == 2
+        assert len(x_matches) == 2
+        # Both matchers saw exactly one scan's worth of nodes.
+        assert anchored.stats.nodes_visited == \
+            database.document().succinct.node_count
+        assert matcher_b.stats.nodes_visited == \
+            anchored.stats.nodes_visited
+
+    def test_shared_scan_charges_one_structure_read(self):
+        from repro.algebra.pattern_graph import compile_path
+        from repro.physical.nok import NoKMatcher, run_shared_scan
+        from repro.xpath.parser import parse_xpath
+
+        database = Database(pool_pages=4, page_size=256)
+        database.load("<r>" + "<a><b/></a>" * 200 + "</r>", uri="x.xml")
+        runtime = database.document().runtime
+        database.pages.reset()
+        matchers = [NoKMatcher(compile_path(parse_xpath("/r/a")))
+                    for _ in range(4)]
+        run_shared_scan(runtime, matchers)
+        one_scan_reads = database.pages.counters.page_reads
+        database.pages.reset()
+        NoKMatcher(compile_path(parse_xpath("/r/a"))).run(runtime)
+        single_reads = database.pages.counters.page_reads
+        assert one_scan_reads == single_reads
+
+
+class TestExecutorPlumbing:
+    def test_strategy_propagates_from_nested_tau(self):
+        database = Database()
+        database.load("<r><a>1</a><a>2</a></r>", uri="r.xml")
+        result = database.query(
+            'for $a in doc("r.xml")/r/a return $a', strategy="nok")
+        assert result.strategy == "nok"
+
+    def test_stats_accumulate_across_taus(self):
+        database = Database()
+        database.load("<r><a>1</a></r>", uri="r.xml")
+        result = database.query(
+            'for $a in doc("r.xml")/r/a for $b in doc("r.xml")//a '
+            "return 1", strategy="auto")
+        assert result.stats["solutions"] >= 2
+
+    def test_gamma_output_through_engine_is_detached_tree(self):
+        database = Database()
+        database.load("<r><a>x</a></r>", uri="r.xml")
+        result = database.query(
+            '<out>{ for $a in doc("r.xml")//a return <i>{$a/text()}</i> '
+            "}</out>")
+        out = result.items[0]
+        assert out.tag == "out"
+        assert [c.string_value() for c in out.child_elements()] == ["x"]

@@ -1,0 +1,81 @@
+"""Tests for the NoK partitioner (Section 4.2 / experiment E8)."""
+
+import pytest
+
+from repro.algebra.pattern_graph import compile_path
+from repro.engine.database import Database
+from repro.physical.partition import PartitionedMatcher, partition_pattern
+from repro.xpath.parser import parse_xpath
+
+
+def pattern_for(text):
+    return compile_path(parse_xpath(text))
+
+
+class TestPartitioning:
+    def test_nok_pattern_single_partition(self):
+        partitions = partition_pattern(pattern_for("/a/b/c"))
+        assert len(partitions) == 1
+        assert partitions[0].cut_edge is None
+        assert partitions[0].pattern.is_nok()
+
+    def test_one_cut_per_descendant_edge(self):
+        partitions = partition_pattern(pattern_for("/a//b/c//d"))
+        assert len(partitions) == 3
+        cut_relations = [p.cut_edge.relation for p in partitions[1:]]
+        assert cut_relations == ["//", "//"]
+
+    def test_sibling_edge_cuts(self):
+        partitions = partition_pattern(
+            pattern_for("/a/b/following-sibling::c"))
+        assert len(partitions) == 2
+        assert partitions[1].cut_edge.relation == "~"
+
+    def test_partitions_are_nok(self):
+        partitions = partition_pattern(pattern_for("//a[b]//c[d]/e"))
+        assert all(p.pattern.is_nok() for p in partitions)
+
+    def test_branch_stays_in_partition(self):
+        # /a[b]/c has no non-local edge: one partition with the branch.
+        partitions = partition_pattern(pattern_for("/a[b]/c"))
+        assert len(partitions) == 1
+        assert partitions[0].pattern.vertex_count() == 4
+
+    def test_constraints_copied(self):
+        partitions = partition_pattern(
+            pattern_for("//a[@k = '1']/b"))
+        child = partitions[1].pattern
+        constrained = [v for v in child.vertices.values()
+                       if v.value_constraints]
+        assert constrained and constrained[0].value_constraints == \
+            (("=", "1"),)
+
+    def test_parent_links(self):
+        partitions = partition_pattern(pattern_for("/a//b//c"))
+        assert partitions[1].parent_index == 0
+        assert partitions[2].parent_index == 1
+
+    def test_vertex_maps_cover_all_vertices(self):
+        pattern = pattern_for("//a[b]//c")
+        partitions = partition_pattern(pattern)
+        mapped = set()
+        for partition in partitions:
+            mapped.update(partition.vertex_map.keys())
+        assert mapped == set(pattern.vertices.keys())
+
+
+class TestJoinSavings:
+    """The E8 story: partitioning performs one join per *cut* edge,
+    versus one per edge for the join-based baseline."""
+
+    def test_join_count_equals_cut_edges(self):
+        doc = "<r>" + "<a><b><c><d/></c></b></a>" * 5 + "</r>"
+        database = Database()
+        database.load(doc, uri="r.xml")
+        pattern = pattern_for("/r/a//c/d")
+        matcher = PartitionedMatcher(pattern)
+        matcher.run(database.document().runtime)
+        assert matcher.join_count() == 1           # one '//' cut
+        assert matcher.stats.structural_joins == 1
+        # Join-per-edge would pay 4 (r->a, a->c, c->d edges + root).
+        assert len(pattern.edges) == 4

@@ -1,0 +1,102 @@
+"""Tests for the physical planner: choice, dispatch, fallback."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import PlanError
+from repro.algebra.cost import CostModel
+from repro.algebra.pattern_graph import compile_path
+from repro.physical.planner import STRATEGIES, PhysicalPlanner
+from repro.xpath.parser import parse_xpath
+
+DOC = ("<lib>" + "".join(
+    f"<shelf id='s{i}'><book><title>t{i}</title>"
+    f"<author>a{i % 7}</author></book></shelf>"
+    for i in range(40)) + "</lib>")
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.load(DOC, uri="lib.xml")
+    return database
+
+
+def planner_for(db):
+    return PhysicalPlanner(CostModel(db.document().statistics))
+
+
+def pattern(text):
+    return compile_path(parse_xpath(text))
+
+
+class TestChoice:
+    def test_local_paths_choose_nok(self, db):
+        assert planner_for(db).choose(pattern("/lib/shelf/book")) == "nok"
+
+    def test_without_cost_model_defaults(self):
+        planner = PhysicalPlanner()
+        assert planner.choose(pattern("/a/b")) == "nok"
+        assert planner.choose(pattern("//a//b")) == "partitioned"
+
+    def test_choice_is_a_real_strategy(self, db):
+        for query in ("/lib/shelf", "//book", "//book[author]/title",
+                      "//title[. = 't3']"):
+            choice = planner_for(db).choose(pattern(query))
+            assert choice in STRATEGIES and choice != "auto"
+
+
+class TestDispatchAndFallback:
+    def test_unknown_strategy_rejected(self, db):
+        with pytest.raises(PlanError):
+            planner_for(db).match(pattern("//book"),
+                                  db.document().runtime,
+                                  strategy="quantum")
+
+    def test_pathstack_on_twig_falls_back(self, db):
+        matches, stats, used = planner_for(db).match(
+            pattern("//book[author]/title"), db.document().runtime,
+            strategy="pathstack")
+        assert used in ("partitioned", "nok")
+        assert len(matches) == 40
+
+    def test_indexscan_without_constraint_falls_back(self, db):
+        matches, stats, used = planner_for(db).match(
+            pattern("//book"), db.document().runtime,
+            strategy="index-scan")
+        assert used == "partitioned"
+        assert len(matches) == 40
+
+    def test_nok_on_general_pattern_degrades_to_partitioned(self, db):
+        matches, stats, used = planner_for(db).match(
+            pattern("//book/title"), db.document().runtime,
+            strategy="nok")
+        assert used == "partitioned"
+        assert len(matches) == 40
+
+    def test_every_strategy_agrees(self, db):
+        runtime = db.document().runtime
+        results = {}
+        for strategy in ("nok", "partitioned", "structural-join",
+                         "twigstack", "navigational", "auto"):
+            matches, _, _ = planner_for(db).match(
+                pattern("/lib/shelf/book/title"), runtime,
+                strategy=strategy)
+            results[strategy] = matches
+        assert len({tuple(m) for m in results.values()}) == 1
+
+    def test_match_bindings_multi_output(self, db):
+        graph = pattern("/lib/shelf/book/title")
+        # Mark both book and title as outputs.
+        book_vertex = graph.edges[1].target
+        graph.vertices[book_vertex].output = True
+        bindings, stats = planner_for(db).match_bindings(
+            graph, db.document().runtime)
+        assert len(bindings) == 40
+        assert all(len(binding) == 2 for binding in bindings)
+
+    def test_match_bindings_partitioned_pattern(self, db):
+        graph = pattern("//book/title")
+        bindings, stats = planner_for(db).match_bindings(
+            graph, db.document().runtime)
+        assert len(bindings) == 40

@@ -1,0 +1,117 @@
+"""Differential testing over randomly *generated* pattern graphs.
+
+String queries only exercise the shapes the XPath grammar can spell; this
+suite builds arbitrary Definition-1 pattern graphs (random tree shapes,
+mixed ``/``/``//``/``@`` edges, value constraints, random output vertex)
+and checks every physical strategy against the logical τ operator on
+random documents.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.algebra.operators import TreePatternMatch
+from repro.algebra.pattern_graph import (
+    REL_ATTRIBUTE,
+    REL_CHILD,
+    REL_DESCENDANT,
+    PatternGraph,
+)
+from repro.physical.navigational import NavigationalMatcher
+from repro.physical.nok import NoKMatcher
+from repro.physical.partition import PartitionedMatcher
+from repro.physical.structural_join import BinaryJoinMatcher
+from repro.physical.twigstack import TwigStackJoin
+
+_TAGS = ["a", "b", "c"]
+_ATTRS = ["k", "m"]
+
+
+@st.composite
+def random_documents(draw):
+    def subtree(depth):
+        tag = draw(st.sampled_from(_TAGS))
+        attr = ""
+        if draw(st.booleans()):
+            attr = (f' {draw(st.sampled_from(_ATTRS))}='
+                    f'"{draw(st.integers(0, 2))}"')
+        if depth == 0:
+            return f"<{tag}{attr}>{draw(st.integers(0, 4))}</{tag}>"
+        inner = "".join(subtree(depth - 1)
+                        for _ in range(draw(st.integers(0, 3))))
+        return f"<{tag}{attr}>{inner}</{tag}>"
+    return f"<root>{subtree(2)}{subtree(2)}{subtree(2)}</root>"
+
+
+@st.composite
+def random_patterns(draw):
+    """A pattern graph: context root, then a random tree of element
+    vertices (with occasional attribute leaves and value constraints)."""
+    graph = PatternGraph()
+    graph.add_vertex(None, kind="any")  # the context root
+    element_vertices = [0]
+    count = draw(st.integers(1, 4))
+    for _ in range(count):
+        parent = draw(st.sampled_from(element_vertices))
+        vertex = graph.add_vertex(draw(st.sampled_from(_TAGS)),
+                                  kind="element")
+        relation = draw(st.sampled_from([REL_CHILD, REL_DESCENDANT]))
+        graph.add_edge(parent, vertex.vertex_id, relation)
+        element_vertices.append(vertex.vertex_id)
+        if draw(st.integers(0, 3)) == 0:
+            graph.add_value_constraint(
+                vertex.vertex_id,
+                draw(st.sampled_from(["=", ">", "<"])),
+                float(draw(st.integers(0, 4))))
+    if draw(st.booleans()):
+        owner = draw(st.sampled_from(element_vertices[1:]))
+        attribute = graph.add_vertex(draw(st.sampled_from(_ATTRS)),
+                                     kind="attribute")
+        graph.add_edge(owner, attribute.vertex_id, REL_ATTRIBUTE)
+        element_vertices_for_output = element_vertices[1:] + \
+            [attribute.vertex_id]
+    else:
+        element_vertices_for_output = element_vertices[1:]
+    output = draw(st.sampled_from(element_vertices_for_output))
+    graph.vertices[output].output = True
+    return graph
+
+
+def logical_matches(database, pattern):
+    """Ground truth: the logical τ over the model tree, mapped to
+    storage pre-order ids."""
+    document = database.document()
+    output = pattern.output_vertices()[0].vertex_id
+    nested = TreePatternMatch().apply(document.tree, pattern)
+    mapping = document.preorder_map
+    return sorted({mapping[node.node_id] for node in nested})
+
+
+@given(random_documents(), random_patterns())
+@settings(max_examples=80, deadline=None)
+def test_all_strategies_match_logical_tau(text, pattern):
+    database = Database()
+    database.load(text, uri="r.xml")
+    runtime = database.document().runtime
+    expected = logical_matches(database, pattern)
+
+    assert BinaryJoinMatcher(pattern).run(runtime) == expected, "joins"
+    assert NavigationalMatcher(pattern).run(runtime) == expected, "nav"
+    if len(pattern.children_of(pattern.root)) == 1:
+        assert TwigStackJoin(pattern).run(runtime) == expected, "twig"
+    else:
+        # Multi-rooted twigs are outside TwigStack's shape; the planner
+        # falls back (documented), so here we just assert the rejection.
+        from repro.errors import ExecutionError
+        import pytest
+        with pytest.raises(ExecutionError):
+            TwigStackJoin(pattern)
+    if pattern.is_nok():
+        output = pattern.output_vertices()[0].vertex_id
+        bindings = NoKMatcher(pattern).run(runtime)
+        nok = sorted({b[output] for b in bindings if output in b})
+        assert nok == expected, "nok"
+    else:
+        assert PartitionedMatcher(pattern).run(runtime) == expected, \
+            "partitioned"

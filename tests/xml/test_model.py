@@ -1,0 +1,221 @@
+"""Unit tests for the XML tree model: structure, order, and axes."""
+
+import pytest
+
+from repro.xml.model import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+
+
+def build_sample():
+    """<bib><book year="1994"><title>TCP/IP</title><author>Stevens</author>
+    </book><book><title>Data</title></book></bib>"""
+    doc = Document(uri="sample")
+    bib = doc.append(Element("bib"))
+    book1 = bib.append(Element("book"))
+    book1.set_attribute("year", "1994")
+    title1 = book1.append(Element("title"))
+    title1.append_text("TCP/IP")
+    author1 = book1.append(Element("author"))
+    author1.append_text("Stevens")
+    book2 = bib.append(Element("book"))
+    title2 = book2.append(Element("title"))
+    title2.append_text("Data")
+    return doc, bib, book1, title1, author1, book2, title2
+
+
+class TestConstruction:
+    def test_append_sets_parent(self):
+        doc, bib, book1, *_ = build_sample()
+        assert book1.parent is bib
+        assert bib.parent is doc
+
+    def test_append_attached_node_rejected(self):
+        doc, bib, book1, *_ = build_sample()
+        with pytest.raises(ValueError):
+            doc.append(book1)
+
+    def test_document_cannot_be_child(self):
+        outer = Document()
+        with pytest.raises(TypeError):
+            outer.append(Document())
+
+    def test_attribute_cannot_be_child(self):
+        root = Element("a")
+        with pytest.raises(TypeError):
+            root.append(Attribute("x", "1"))
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Element("")
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("", "v")
+
+    def test_root_property(self):
+        doc, bib, *_ = build_sample()
+        assert doc.root is bib
+
+    def test_root_missing(self):
+        with pytest.raises(ValueError):
+            Document().root
+
+    def test_append_text_merges_adjacent(self):
+        el = Element("p")
+        el.append_text("hello ")
+        el.append_text("world")
+        assert len(el) == 1
+        assert el.string_value() == "hello world"
+
+    def test_insert_and_remove(self):
+        doc, bib, book1, _, _, book2, _ = build_sample()
+        extra = Element("book")
+        bib.insert(1, extra)
+        assert list(bib.children())[1] is extra
+        bib.remove(extra)
+        assert extra.parent is None
+        assert list(bib.child_elements("book")) == [book1, book2]
+
+    def test_remove_absent_raises(self):
+        doc, bib, *_ = build_sample()
+        with pytest.raises(ValueError):
+            bib.remove(Element("ghost"))
+
+
+class TestDocumentOrder:
+    def test_preorder_ranks(self):
+        doc, bib, book1, title1, author1, book2, title2 = build_sample()
+        pres = [doc.pre, bib.pre, book1.pre, title1.pre, author1.pre,
+                book2.pre, title2.pre]
+        assert doc.pre == 0
+        assert pres == sorted(pres)
+        assert bib.pre == 1 and book1.pre == 2 and title1.pre == 3
+
+    def test_levels(self):
+        doc, bib, book1, title1, *_ = build_sample()
+        assert (doc.level, bib.level, book1.level, title1.level) == (0, 1, 2, 3)
+
+    def test_sizes(self):
+        doc, bib, book1, *_ = build_sample()
+        # doc: doc + bib + 2 books + 3 title/author + 3 texts = 10
+        assert doc.size == 10
+        assert book1.size == 5  # book + title + text + author + text
+
+    def test_post_order_consistent_with_containment(self):
+        doc, bib, book1, title1, *_ = build_sample()
+        assert title1.post < book1.post < bib.post < doc.post
+
+    def test_is_ancestor_of(self):
+        doc, bib, book1, title1, _, book2, _ = build_sample()
+        assert bib.is_ancestor_of(title1)
+        assert not book2.is_ancestor_of(title1)
+        assert not title1.is_ancestor_of(title1)
+
+    def test_before(self):
+        doc, _, book1, _, _, book2, _ = build_sample()
+        assert book1.before(book2)
+        assert not book2.before(book1)
+
+    def test_mutation_invalidates_index(self):
+        doc, bib, *_ = build_sample()
+        first = doc.size
+        bib.append(Element("book"))
+        assert doc.size == first + 1
+
+    def test_detached_node_order_undefined(self):
+        el = Element("loose")
+        with pytest.raises(ValueError):
+            el.pre
+
+
+class TestAxes:
+    def test_children(self):
+        doc, bib, book1, _, _, book2, _ = build_sample()
+        assert list(bib.children()) == [book1, book2]
+
+    def test_descendants_in_document_order(self):
+        doc, *_ = build_sample()
+        nodes = list(doc.descendants())
+        assert [n.pre for n in nodes] == sorted(n.pre for n in nodes)
+        assert len(nodes) == 9
+
+    def test_ancestors_nearest_first(self):
+        doc, bib, book1, title1, *_ = build_sample()
+        assert list(title1.ancestors()) == [book1, bib, doc]
+
+    def test_following_siblings(self):
+        doc, _, book1, _, _, book2, _ = build_sample()
+        assert list(book1.following_siblings()) == [book2]
+        assert list(book2.following_siblings()) == []
+
+    def test_preceding_siblings_reverse_order(self):
+        doc, bib, book1, _, _, book2, _ = build_sample()
+        extra = bib.append(Element("note"))
+        assert list(extra.preceding_siblings()) == [book2, book1]
+
+    def test_siblings_of_root_empty(self):
+        doc, *_ = build_sample()
+        assert list(doc.following_siblings()) == []
+        assert list(doc.preceding_siblings()) == []
+
+    def test_attribute_axis(self):
+        _, _, book1, *_ = build_sample()
+        attrs = list(book1.attributes())
+        assert [(a.attr_name, a.value) for a in attrs] == [("year", "1994")]
+        assert attrs[0].parent is book1
+
+    def test_set_attribute_replaces(self):
+        _, _, book1, *_ = build_sample()
+        book1.set_attribute("year", "1995")
+        assert book1.get_attribute("year") == "1995"
+        assert len(list(book1.attributes())) == 1
+
+    def test_get_missing_attribute(self):
+        _, _, book1, *_ = build_sample()
+        assert book1.get_attribute("isbn") is None
+
+
+class TestContent:
+    def test_string_value_concatenates_descendant_text(self):
+        doc, bib, book1, *_ = build_sample()
+        assert book1.string_value() == "TCP/IPStevens"
+        assert doc.string_value() == "TCP/IPStevensData"
+
+    def test_leaf_string_values(self):
+        assert Text("abc").string_value() == "abc"
+        assert Comment("c").string_value() == "c"
+        assert ProcessingInstruction("t", "d").string_value() == "d"
+        assert Attribute("n", "v").string_value() == "v"
+
+    def test_names(self):
+        assert Element("book").name == "book"
+        assert Attribute("year", "x").name == "year"
+        assert ProcessingInstruction("php").name == "php"
+        assert Text("t").name is None
+
+    def test_find(self):
+        _, _, book1, title1, *_ = build_sample()
+        assert book1.find("title") is title1
+        assert book1.find("missing") is None
+
+    def test_identity_semantics(self):
+        a, b = Element("x"), Element("x")
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+
+class TestDeepTrees:
+    def test_reindex_handles_deep_chains(self):
+        doc = Document()
+        node = doc.append(Element("n0"))
+        for depth in range(1, 3000):
+            node = node.append(Element(f"n{depth}"))
+        assert doc.size == 3001
+        assert node.level == 3000

@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch XML parser (tree and event interfaces)."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml import events as ev
+from repro.xml.parser import build_tree, iterparse, parse
+from repro.xml.model import Comment, Element, ProcessingInstruction, Text
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.tag == "a"
+        assert len(doc.root) == 0
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        root = doc.root
+        assert [e.tag for e in root.child_elements()] == ["b", "d"]
+        assert root.find("b").find("c") is not None
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.string_value() == "hello"
+
+    def test_mixed_content(self):
+        doc = parse("<p>one<b>two</b>three</p>")
+        kinds = [type(c).__name__ for c in doc.root.children()]
+        assert kinds == ["Text", "Element", "Text"]
+        assert doc.root.string_value() == "onetwothree"
+
+    def test_attributes(self):
+        doc = parse('<a x="1" y=\'two\'/>')
+        assert doc.root.get_attribute("x") == "1"
+        assert doc.root.get_attribute("y") == "two"
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert all(isinstance(c, Element) for c in doc.root.children())
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert any(isinstance(c, Text) for c in doc.root.children())
+
+    def test_xml_declaration(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse('<!DOCTYPE bib [ <!ELEMENT bib (book*)> ]><bib/>')
+        assert doc.root.tag == "bib"
+
+    def test_comment(self):
+        doc = parse("<a><!-- note --></a>")
+        children = list(doc.root.children())
+        assert isinstance(children[0], Comment)
+        assert children[0].value == " note "
+
+    def test_processing_instruction(self):
+        doc = parse('<a><?target some data?></a>')
+        pi = next(iter(doc.root.children()))
+        assert isinstance(pi, ProcessingInstruction)
+        assert pi.target == "target"
+        assert pi.data == "some data"
+
+    def test_cdata(self):
+        doc = parse("<a><![CDATA[<not> & parsed]]></a>")
+        assert doc.root.string_value() == "<not> & parsed"
+
+    def test_names_with_punctuation(self):
+        doc = parse("<ns:a-b.c_1/>")
+        assert doc.root.tag == "ns:a-b.c_1"
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.string_value() == "<>&'\""
+
+    def test_numeric_character_references(self):
+        doc = parse("<a>&#65;&#x42;</a>")
+        assert doc.root.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse('<a t="&amp;&#x3C;"/>')
+        assert doc.root.get_attribute("t") == "&<"
+
+    def test_undefined_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&nbsp;</a>")
+
+    def test_bad_character_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&#xZZ;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a>&amp</a>")
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "</a>",
+        "<a/><b/>",
+        "<a x=1/>",
+        '<a x="1" x="2"/>',
+        "<a><!-- -- --></a>",
+        "<1tag/>",
+        "<a b='<'/>",
+        "text only",
+        "<a>bad<a>",
+        '<a y="no end>',
+        "<a><![CDATA[never closed</a>",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse(text)
+
+    def test_error_location_reported(self):
+        try:
+            parse("<a>\n  <b></c>\n</a>")
+        except XMLSyntaxError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestEventStream:
+    def test_event_sequence(self):
+        stream = list(iterparse('<a x="1">t<b/></a>'))
+        assert stream == [
+            ev.StartDocument(),
+            ev.StartElement("a", (("x", "1"),)),
+            ev.Characters("t"),
+            ev.StartElement("b", ()),
+            ev.EndElement("b"),
+            ev.EndElement("a"),
+            ev.EndDocument(),
+        ]
+
+    def test_events_from_tree_round_trip(self):
+        text = '<a x="1"><!--c-->t1<b>t2</b><?pi d?></a>'
+        doc = parse(text, keep_whitespace=True)
+        replayed = list(ev.events_from_tree(doc))
+        direct = list(iterparse(text))
+        assert replayed == direct
+
+    def test_build_tree_from_events(self):
+        stream = [
+            ev.StartDocument(uri="u"),
+            ev.StartElement("r", ()),
+            ev.Characters("x"),
+            ev.EndElement("r"),
+            ev.EndDocument(),
+        ]
+        doc = build_tree(iter(stream))
+        assert doc.uri == "u"
+        assert doc.root.string_value() == "x"
+
+
+class TestScale:
+    def test_many_siblings(self):
+        text = "<r>" + "<i/>" * 5000 + "</r>"
+        doc = parse(text)
+        assert len(doc.root) == 5000
+
+    def test_deep_nesting(self):
+        depth = 2000
+        text = "".join(f"<n{i}>" for i in range(depth))
+        text += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        doc = parse(text)
+        assert doc.size == depth + 1
+
+
+class TestLexerExtras:
+    def test_shift_symbols_tokenize(self):
+        from repro.xpath.lexer import tokenize
+        values = [t.value for t in tokenize("a << b >> c")]
+        assert values == ["a", "<<", "b", ">>", "c", ""]
+
+    def test_error_classes_carry_positions(self):
+        from repro.errors import QuerySyntaxError, XMLSyntaxError
+        xml_error = XMLSyntaxError("bad", line=3, column=7)
+        assert "line 3" in str(xml_error)
+        assert (xml_error.line, xml_error.column) == (3, 7)
+        query_error = QuerySyntaxError("bad", position=12)
+        assert "offset 12" in str(query_error)
+        assert query_error.position == 12

@@ -1,0 +1,101 @@
+"""Unit and property tests for the serializer (round-trips with the parser)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xml.model import Document, Element
+from repro.xml.parser import parse
+from repro.xml.serializer import escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('a"b&<') == "a&quot;b&amp;&lt;"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a></a>").root) == "<a/>"
+
+    def test_attributes_preserved_in_order(self):
+        text = '<a b="1" a="2"/>'
+        assert serialize(parse(text).root) == text
+
+    def test_text_escaped(self):
+        doc = parse("<a>&lt;raw&amp;&gt;</a>")
+        assert serialize(doc.root) == "<a>&lt;raw&amp;&gt;</a>"
+
+    def test_declaration(self):
+        out = serialize(parse("<a/>"), declaration=True)
+        assert out.startswith('<?xml version="1.0"')
+
+    def test_pretty_print_indents_element_content(self):
+        doc = parse("<a><b><c/></b></a>")
+        out = serialize(doc, indent="  ")
+        assert "\n  <b>" in out and "\n    <c/>" in out
+
+    def test_pretty_print_keeps_mixed_content_inline(self):
+        doc = parse("<p>one<b>two</b>three</p>", keep_whitespace=True)
+        out = serialize(doc, indent="  ")
+        assert "one<b>two</b>three" in out
+
+    def test_comment_and_pi(self):
+        text = "<a><!--c--><?t d?></a>"
+        assert serialize(parse(text).root) == text
+
+
+# -- property: parse . serialize == identity on generated trees ------------
+
+_tags = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'.,!?",
+    min_size=1, max_size=20)
+_attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'", max_size=12)
+
+
+@st.composite
+def random_elements(draw, depth=3):
+    element = Element(draw(_tags))
+    for name, value in draw(st.dictionaries(_tags, _attr_values,
+                                            max_size=3)).items():
+        element.set_attribute(name, value)
+    if depth > 0:
+        for child_kind in draw(st.lists(st.sampled_from(["el", "text"]),
+                                        max_size=4)):
+            if child_kind == "el":
+                element.append(draw(random_elements(depth=depth - 1)))
+            else:
+                element.append_text(draw(_texts))
+    return element
+
+
+@given(random_elements())
+@settings(max_examples=60, deadline=None)
+def test_parse_serialize_round_trip(element):
+    doc = Document()
+    doc.append(element)
+    text = serialize(doc)
+    reparsed = parse(text, keep_whitespace=True)
+    assert serialize(reparsed) == text
+    assert reparsed.root.string_value() == doc.root.string_value()
+
+
+@given(random_elements())
+@settings(max_examples=30, deadline=None)
+def test_structure_survives_round_trip(element):
+    doc = Document()
+    doc.append(element)
+    reparsed = parse(serialize(doc), keep_whitespace=True)
+
+    def shape(el):
+        return (el.tag,
+                sorted((a.attr_name, a.value) for a in el.attributes()),
+                [shape(c) for c in el.child_elements()])
+
+    assert shape(reparsed.root) == shape(doc.root)

@@ -1,0 +1,210 @@
+"""Tests for the XPath lexer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xpath import ast
+from repro.xpath.lexer import tokenize
+from repro.xpath.parser import parse_xpath
+
+
+class TestLexer:
+    def test_symbols_and_names(self):
+        kinds = [(t.kind, t.value) for t in tokenize("/bib//book")]
+        assert kinds == [("SYMBOL", "/"), ("NAME", "bib"),
+                         ("SYMBOL", "//"), ("NAME", "book"), ("EOF", "")]
+
+    def test_strings_with_escaped_quotes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("3.14 42")
+        assert [t.value for t in tokens[:2]] == ["3.14", "42"]
+
+    def test_variables(self):
+        token = tokenize("$bib-entry")[0]
+        assert token.kind == "VARIABLE"
+        assert token.value == "bib-entry"
+
+    def test_qualified_names(self):
+        assert tokenize("ns:tag")[0].value == "ns:tag"
+
+    def test_axis_not_swallowed_by_qname(self):
+        values = [t.value for t in tokenize("child::a")]
+        assert values == ["child", "::", "a", ""]
+
+    def test_comments_skipped(self):
+        values = [t.value for t in tokenize("a (: skip (: nested :) :) b")]
+        assert values == ["a", "b", ""]
+
+    def test_errors(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'unterminated")
+        with pytest.raises(QuerySyntaxError):
+            tokenize("$")
+        with pytest.raises(QuerySyntaxError):
+            tokenize("#")
+        with pytest.raises(QuerySyntaxError):
+            tokenize("(: open")
+
+
+class TestPathParsing:
+    def test_simple_absolute_path(self):
+        path = parse_xpath("/bib/book/title")
+        assert isinstance(path, ast.LocationPath)
+        assert path.absolute
+        assert [s.test.name for s in path.steps] == ["bib", "book", "title"]
+        assert all(s.axis is ast.Axis.CHILD for s in path.steps)
+
+    def test_relative_path(self):
+        path = parse_xpath("book/title")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_descendant_abbreviation(self):
+        path = parse_xpath("//book")
+        assert path.absolute
+        assert path.steps[0].axis is ast.Axis.DESCENDANT_OR_SELF
+        assert isinstance(path.steps[0].test, ast.KindTest)
+        assert path.steps[1].test.name == "book"
+
+    def test_internal_descendant(self):
+        path = parse_xpath("/bib//title")
+        assert [s.axis for s in path.steps] == [
+            ast.Axis.CHILD, ast.Axis.DESCENDANT_OR_SELF, ast.Axis.CHILD]
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("book/@year")
+        assert path.steps[1].axis is ast.Axis.ATTRIBUTE
+        assert path.steps[1].test.name == "year"
+
+    def test_explicit_axes(self):
+        path = parse_xpath("child::a/descendant::b/following-sibling::c")
+        assert [s.axis for s in path.steps] == [
+            ast.Axis.CHILD, ast.Axis.DESCENDANT, ast.Axis.FOLLOWING_SIBLING]
+
+    def test_dot_and_dotdot(self):
+        path = parse_xpath("./../book")
+        assert path.steps[0].axis is ast.Axis.SELF
+        assert path.steps[1].axis is ast.Axis.PARENT
+
+    def test_wildcard_and_kind_tests(self):
+        path = parse_xpath("*/text()")
+        assert isinstance(path.steps[0].test, ast.WildcardTest)
+        assert path.steps[1].test == ast.KindTest("text")
+
+    def test_root_only(self):
+        path = parse_xpath("/")
+        assert path.absolute and path.steps == ()
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("sideways::a")
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        path = parse_xpath("book[author]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, ast.LocationPath)
+
+    def test_multiple_predicates(self):
+        path = parse_xpath("/a[b][c]")
+        assert len(path.steps[0].predicates) == 2
+
+    def test_comparison_predicate(self):
+        path = parse_xpath("book[@year = 1994]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, ast.BinaryOp)
+        assert predicate.op == "="
+        assert isinstance(predicate.left, ast.LocationPath)
+        assert predicate.right == ast.Literal(1994.0)
+
+    def test_positional_predicate(self):
+        path = parse_xpath("book[2]")
+        assert path.steps[0].predicates[0] == ast.Literal(2.0)
+
+    def test_boolean_connectives(self):
+        path = parse_xpath("book[author and title or note]")
+        predicate = path.steps[0].predicates[0]
+        assert predicate.op == "or"
+        assert predicate.left.op == "and"
+
+    def test_nested_path_predicate(self):
+        path = parse_xpath("a[b/c[d] = 'x']")
+        inner = path.steps[0].predicates[0].left
+        assert isinstance(inner, ast.LocationPath)
+        assert inner.steps[1].predicates
+
+    def test_function_in_predicate(self):
+        path = parse_xpath("book[count(author) > 2]")
+        predicate = path.steps[0].predicates[0]
+        assert predicate.left == ast.FunctionCall(
+            "count", (ast.LocationPath((ast.Step(ast.Axis.CHILD,
+                                                 ast.NameTest("author")),),
+                                       absolute=False),))
+
+    def test_context_comparison(self):
+        path = parse_xpath("title[. = 'TCP/IP']")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate.left, ast.LocationPath)
+        assert predicate.left.steps[0].axis is ast.Axis.SELF
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_div_mod(self):
+        expr = parse_xpath("7 div 2 mod 3")
+        assert expr.op == "mod"
+
+    def test_unary_minus(self):
+        expr = parse_xpath("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_union(self):
+        expr = parse_xpath("//a | //b")
+        assert isinstance(expr, ast.Union_)
+
+    def test_star_disambiguation(self):
+        # Operand position: wildcard; operator position: multiply.
+        expr = parse_xpath("count(*) * 2")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.FunctionCall)
+
+    def test_parenthesized(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_string_round_trip_str(self):
+        # __str__ renders something parseable for simple paths.
+        path = parse_xpath("/bib/book[@year = '1994']")
+        assert "book" in str(path) and "@" not in str(path)  # axis long form
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "/bib/",
+        "//",
+        "book[",
+        "book]",
+        "book[]",
+        "a/b)",
+        "count(",
+        "@",
+        "a[@]",
+        "1 +",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath(text)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("/a/b 'extra'")

@@ -1,0 +1,225 @@
+"""Tests for the reference XPath evaluator (the ground-truth semantics)."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryTypeError
+from repro.xml.parser import parse
+from repro.xpath import evaluate_xpath
+
+BIB = """
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>Economics of Technology</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <price>129.95</price>
+  </book>
+</bib>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse(BIB)
+
+
+def tags(nodes):
+    return [n.tag for n in nodes]
+
+
+def texts(nodes):
+    return [n.string_value() for n in nodes]
+
+
+class TestPaths:
+    def test_child_path(self, doc):
+        result = evaluate_xpath("/bib/book/title", doc)
+        assert texts(result) == ["TCP/IP Illustrated", "Data on the Web",
+                                 "Economics of Technology"]
+
+    def test_descendant_path(self, doc):
+        result = evaluate_xpath("//last", doc)
+        assert texts(result) == ["Stevens", "Abiteboul", "Buneman", "Gerbarg"]
+
+    def test_internal_descendant(self, doc):
+        result = evaluate_xpath("/bib//first", doc)
+        assert len(result) == 4
+
+    def test_wildcard(self, doc):
+        result = evaluate_xpath("/bib/book/*", doc)
+        assert len(result) == 10  # titles, authors, editor, prices
+
+    def test_attribute_axis(self, doc):
+        result = evaluate_xpath("/bib/book/@year", doc)
+        assert [n.value for n in result] == ["1994", "2000", "1999"]
+
+    def test_text_kind_test(self, doc):
+        result = evaluate_xpath("/bib/book/title/text()", doc)
+        assert texts(result)[0] == "TCP/IP Illustrated"
+
+    def test_parent_axis(self, doc):
+        result = evaluate_xpath("//last/../..", doc)
+        assert {n.tag for n in result} == {"book"}
+
+    def test_following_sibling(self, doc):
+        result = evaluate_xpath(
+            "/bib/book/title/following-sibling::price", doc)
+        assert len(result) == 3
+
+    def test_self_axis(self, doc):
+        result = evaluate_xpath("/bib/.", doc)
+        assert tags(result) == ["bib"]
+
+    def test_root_path(self, doc):
+        result = evaluate_xpath("/", doc)
+        assert result == [doc]
+
+    def test_document_order_and_dedup(self, doc):
+        # //author//* and //last overlap; union must dedup and sort.
+        result = evaluate_xpath("//author/* | //last", doc)
+        pres = [n.pre for n in result]
+        assert pres == sorted(set(pres))
+
+    def test_relative_path_from_element(self, doc):
+        book = evaluate_xpath("/bib/book", doc)[0]
+        result = evaluate_xpath("author/last", book)
+        assert texts(result) == ["Stevens"]
+
+    def test_missing_path_is_empty(self, doc):
+        assert evaluate_xpath("/bib/magazine", doc) == []
+
+
+class TestPredicates:
+    def test_existence(self, doc):
+        result = evaluate_xpath("/bib/book[editor]", doc)
+        assert len(result) == 1
+        assert evaluate_xpath("//book[author][title]", doc) != []
+
+    def test_attribute_comparison(self, doc):
+        result = evaluate_xpath("/bib/book[@year = '1994']/title", doc)
+        assert texts(result) == ["TCP/IP Illustrated"]
+
+    def test_numeric_comparison(self, doc):
+        result = evaluate_xpath("/bib/book[price > 50]/title", doc)
+        assert texts(result) == ["TCP/IP Illustrated",
+                                 "Economics of Technology"]
+
+    def test_position_predicate(self, doc):
+        result = evaluate_xpath("/bib/book[2]/title", doc)
+        assert texts(result) == ["Data on the Web"]
+
+    def test_position_function(self, doc):
+        result = evaluate_xpath("/bib/book[position() = 3]/@year", doc)
+        assert [n.value for n in result] == ["1999"]
+
+    def test_last_function(self, doc):
+        result = evaluate_xpath("/bib/book[last()]/title", doc)
+        assert texts(result) == ["Economics of Technology"]
+
+    def test_boolean_connectives(self, doc):
+        both = evaluate_xpath("/bib/book[author and price > 50]", doc)
+        assert len(both) == 1
+        either = evaluate_xpath("/bib/book[editor or @year = '1994']", doc)
+        assert len(either) == 2
+
+    def test_not(self, doc):
+        result = evaluate_xpath("/bib/book[not(author)]", doc)
+        assert len(result) == 1
+
+    def test_nested_predicates(self, doc):
+        result = evaluate_xpath("/bib/book[author[last = 'Buneman']]", doc)
+        assert len(result) == 1
+
+    def test_existential_comparison_over_nodeset(self, doc):
+        # The second book has two authors; = is existential.
+        result = evaluate_xpath(
+            "/bib/book[author/last = 'Buneman']/title", doc)
+        assert texts(result) == ["Data on the Web"]
+
+    def test_count_predicate(self, doc):
+        result = evaluate_xpath("/bib/book[count(author) = 2]/title", doc)
+        assert texts(result) == ["Data on the Web"]
+
+    def test_contains(self, doc):
+        result = evaluate_xpath(
+            "/bib/book[contains(title, 'Web')]/@year", doc)
+        assert [n.value for n in result] == ["2000"]
+
+
+class TestValues:
+    def test_count(self, doc):
+        assert evaluate_xpath("count(//author)", doc) == 3.0
+
+    def test_sum(self, doc):
+        total = evaluate_xpath("sum(/bib/book/price)", doc)
+        assert math.isclose(total, 65.95 + 39.95 + 129.95)
+
+    def test_arithmetic(self, doc):
+        assert evaluate_xpath("2 + 3 * 4", doc) == 14.0
+        assert evaluate_xpath("10 div 4", doc) == 2.5
+        assert evaluate_xpath("7 mod 3", doc) == 1.0
+        assert evaluate_xpath("-(2 + 3)", doc) == -5.0
+
+    def test_division_by_zero(self, doc):
+        assert evaluate_xpath("1 div 0", doc) == float("inf")
+        assert math.isnan(evaluate_xpath("0 div 0", doc))
+        assert math.isnan(evaluate_xpath("5 mod 0", doc))
+
+    def test_string_functions(self, doc):
+        assert evaluate_xpath("concat('a', 'b', 'c')", doc) == "abc"
+        assert evaluate_xpath("starts-with('abc', 'ab')", doc) is True
+        assert evaluate_xpath("string-length('hello')", doc) == 5.0
+        assert evaluate_xpath("substring('hello', 2, 3)", doc) == "ell"
+        assert evaluate_xpath("normalize-space('  a   b ')", doc) == "a b"
+
+    def test_string_of_nodeset(self, doc):
+        # string() of a node-set is the first node's string value.
+        assert evaluate_xpath(
+            "string(/bib/book/title)", doc) == "TCP/IP Illustrated"
+
+    def test_number_conversion(self, doc):
+        assert evaluate_xpath("number('42')", doc) == 42.0
+        assert math.isnan(evaluate_xpath("number('x')", doc))
+
+    def test_rounding(self, doc):
+        assert evaluate_xpath("floor(1.9)", doc) == 1.0
+        assert evaluate_xpath("ceiling(1.1)", doc) == 2.0
+        assert evaluate_xpath("round(2.5)", doc) == 3.0
+
+    def test_name_function(self, doc):
+        assert evaluate_xpath("name(/bib/book)", doc) == "book"
+
+    def test_booleans(self, doc):
+        assert evaluate_xpath("true()", doc) is True
+        assert evaluate_xpath("false()", doc) is False
+        assert evaluate_xpath("boolean(//book)", doc) is True
+        assert evaluate_xpath("boolean(//ghost)", doc) is False
+
+    def test_comparison_flipping(self, doc):
+        # literal op node-set must flip the operator, not the result.
+        assert evaluate_xpath("50 < /bib/book/price", doc) is True
+        assert evaluate_xpath("200 < /bib/book/price", doc) is False
+
+    def test_unknown_function_rejected(self, doc):
+        with pytest.raises(QueryTypeError):
+            evaluate_xpath("frobnicate(1)", doc)
+
+    def test_count_of_non_nodeset_rejected(self, doc):
+        with pytest.raises(QueryTypeError):
+            evaluate_xpath("count(3)", doc)
+
+    def test_union_of_non_nodeset_rejected(self, doc):
+        with pytest.raises(QueryTypeError):
+            evaluate_xpath("1 | 2", doc)

@@ -1,0 +1,102 @@
+"""Additional reference-evaluator corner cases."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.xml.model import Element
+from repro.xml.parser import parse
+from repro.xpath import evaluate_xpath
+from repro.xpath.semantics import (
+    document_order_key,
+    number_value,
+    sequence_boolean,
+    string_value,
+)
+
+DOC = parse('<r a="1" b="2"><x><y>t</y></x><x/></r>')
+
+
+class TestAxesCorners:
+    def test_parent_of_document_element(self):
+        result = evaluate_xpath("/r/..", DOC)
+        assert result == [DOC]
+
+    def test_parent_of_document_is_empty(self):
+        assert evaluate_xpath("/..", DOC) == []
+
+    def test_attribute_then_parent(self):
+        result = evaluate_xpath("//@a/..", DOC)
+        assert [n.tag for n in result] == ["r"]
+
+    def test_descendant_axis_explicit(self):
+        assert len(evaluate_xpath("/descendant::x", DOC)) == 2
+
+    def test_wildcard_attribute(self):
+        values = sorted(n.value for n in evaluate_xpath("/r/@*", DOC))
+        assert values == ["1", "2"]
+
+    def test_following_sibling_of_last_is_empty(self):
+        assert evaluate_xpath("/r/x[2]/following-sibling::*", DOC) == []
+
+    def test_absolute_path_from_detached_node_errors(self):
+        detached = Element("loose")
+        with pytest.raises(ExecutionError):
+            evaluate_xpath("/r", detached)
+
+    def test_relative_path_from_detached_node_works(self):
+        detached = Element("loose")
+        detached.append(Element("inner"))
+        assert len(evaluate_xpath("inner", detached)) == 1
+
+
+class TestConversions:
+    def test_string_value_of_bool_and_nan(self):
+        assert string_value(True) == "true"
+        assert string_value(False) == "false"
+        assert string_value(float("nan")) == "NaN"
+        assert string_value(3.0) == "3"
+        assert string_value([]) == ""
+
+    def test_number_value_of_odd_inputs(self):
+        assert number_value(True) == 1.0
+        assert number_value("  42 ") == 42.0
+        assert number_value("x") != number_value("x")  # NaN
+        assert number_value([]) != number_value([])    # NaN
+
+    def test_sequence_boolean_cases(self):
+        assert sequence_boolean([]) is False
+        assert sequence_boolean([False]) is False
+        assert sequence_boolean([0.0]) is False
+        assert sequence_boolean([""]) is False
+        assert sequence_boolean([DOC.root]) is True
+        assert sequence_boolean([False, False]) is True  # length > 1
+        assert sequence_boolean(True) is True
+
+    def test_document_order_key_attributes_after_owner(self):
+        root = DOC.root
+        attributes = list(root.attributes())
+        keys = [document_order_key(node)
+                for node in [root] + attributes]
+        assert keys == sorted(keys)
+        assert keys[1] < keys[2]  # attribute order preserved
+
+
+class TestComparisonCorners:
+    def test_nodeset_vs_nodeset_existential(self):
+        doc = parse("<r><a>1</a><a>2</a><b>2</b><b>3</b></r>")
+        assert evaluate_xpath("//a = //b", doc) is True
+        assert evaluate_xpath("//a = //a[. = 9]", doc) is False
+
+    def test_not_equal_is_also_existential(self):
+        doc = parse("<r><a>1</a><a>2</a></r>")
+        # Some a differs from '1' (namely 2): != is true.
+        assert evaluate_xpath("//a != '1'", doc) is True
+
+    def test_boolean_coercion_in_comparison(self):
+        assert evaluate_xpath("true() = 1", DOC) is True
+        assert evaluate_xpath("false() = 0", DOC) is True
+
+    def test_string_inequality_numeric_coercion(self):
+        doc = parse("<r><v>9</v><v>10</v></r>")
+        # '<' compares numbers even for node string values.
+        assert evaluate_xpath("//v[. < 9.5]", doc)[0].string_value() == "9"

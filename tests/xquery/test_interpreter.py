@@ -1,0 +1,224 @@
+"""Tests for the reference XQuery interpreter."""
+
+import pytest
+
+from repro.errors import ExecutionError, QueryTypeError
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+from repro.xquery import evaluate_xquery
+from repro.xquery.interpreter import sequence_to_string
+
+BIB = """
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>Economics of Technology</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <price>129.95</price>
+  </book>
+</bib>
+"""
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return {"bib.xml": parse(BIB)}
+
+
+def run(query, docs):
+    return evaluate_xquery(query, documents=docs)
+
+
+class TestFLWOR:
+    def test_simple_for(self, docs):
+        result = run('for $b in doc("bib.xml")/bib/book return $b/title',
+                     docs)
+        assert [n.string_value() for n in result] == [
+            "TCP/IP Illustrated", "Data on the Web",
+            "Economics of Technology"]
+
+    def test_let_binds_whole_sequence(self, docs):
+        result = run('let $t := doc("bib.xml")//title return count($t)',
+                     docs)
+        assert result == [3.0]
+
+    def test_for_iterates_item_wise(self, docs):
+        result = run('for $t in doc("bib.xml")//title return count($t)',
+                     docs)
+        assert result == [1.0, 1.0, 1.0]
+
+    def test_where(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book '
+            "where $b/price > 50 return $b/title/text()", docs)
+        assert [n.string_value() for n in result] == [
+            "TCP/IP Illustrated", "Economics of Technology"]
+
+    def test_order_by_string(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book '
+            "order by $b/title return $b/@year", docs)
+        assert [n.value for n in result] == ["2000", "1999", "1994"]
+
+    def test_order_by_numeric_descending(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book '
+            "order by $b/price descending return $b/price", docs)
+        values = [float(n.string_value()) for n in result]
+        assert values == sorted(values, reverse=True)
+
+    def test_cross_product_of_for_clauses(self, docs):
+        result = run(
+            'for $x in 1 to 2, $y in 1 to 3 return $x * 10 + $y', docs)
+        assert result == [11.0, 12.0, 13.0, 21.0, 22.0, 23.0]
+
+    def test_position_variable(self, docs):
+        result = run(
+            'for $b at $i in doc("bib.xml")/bib/book return $i', docs)
+        assert result == [1.0, 2.0, 3.0]
+
+    def test_nested_flwor(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book '
+            "return for $a in $b/author return $a/last/text()", docs)
+        assert [n.string_value() for n in result] == [
+            "Stevens", "Abiteboul", "Buneman"]
+
+    def test_example1_environment_cardinality(self, docs):
+        """Example 1 of the paper: for/let/for nesting produces one
+        result per total variable binding (root-to-leaf path in Fig. 2)."""
+        result = run(
+            "for $a in 1 to 3 "
+            "let $c := ('x', 'y') "
+            "for $e in 1 to 2 "
+            "return concat($a, '-', count($c), '-', $e)", docs)
+        # 3 bindings for $a times 2 for $e; $c never multiplies.
+        assert len(result) == 6
+        assert result[0] == "1-2-1"
+
+
+class TestConstructors:
+    def test_fig1_query(self, docs):
+        """The paper's Fig. 1(a) query end to end."""
+        result = run(
+            '<results> {'
+            ' for $b in document("bib.xml")/bib/book'
+            ' let $t := $b/title'
+            ' let $a := $b/author'
+            ' return <result> {$t} {$a} </result>'
+            ' } </results>', docs)
+        assert len(result) == 1
+        results_el = result[0]
+        assert results_el.tag == "results"
+        inner = list(results_el.child_elements("result"))
+        assert len(inner) == 3
+        first = inner[0]
+        assert [c.tag for c in first.child_elements()] == ["title", "author"]
+        # Third book has no author: result element holds only the title.
+        assert [c.tag for c in inner[2].child_elements()] == ["title"]
+        # Content is copied, not moved.
+        assert serialize(inner[0].find("title")) == \
+            "<title>TCP/IP Illustrated</title>"
+
+    def test_attribute_template(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book[1] '
+            'return <b y="year-{$b/@year}"/>', docs)
+        assert result[0].get_attribute("y") == "year-1994"
+
+    def test_atomics_space_joined(self, docs):
+        result = run("<nums>{1 to 3}</nums>", docs)
+        assert result[0].string_value() == "1 2 3"
+
+    def test_mixed_literal_and_enclosed(self, docs):
+        result = run("<t>count: {count((1,2))}</t>", docs)
+        assert result[0].string_value() == "count: 2"
+
+    def test_constructed_tree_is_queryable(self, docs):
+        result = run(
+            "let $t := <a><b><c>deep</c></b></a> return $t//c", docs)
+        assert [n.string_value() for n in result] == ["deep"]
+
+    def test_document_order_on_constructed_tree(self, docs):
+        result = run(
+            "let $t := <a><b/><c/></a> return $t/*", docs)
+        assert [n.tag for n in result] == ["b", "c"]
+
+
+class TestOtherForms:
+    def test_if_then_else(self, docs):
+        result = run(
+            'for $b in doc("bib.xml")/bib/book '
+            "return if ($b/price > 100) then 'pricey' else 'ok'", docs)
+        assert result == ["ok", "ok", "pricey"]
+
+    def test_quantifiers(self, docs):
+        assert run('some $b in doc("bib.xml")//book '
+                   "satisfies $b/price > 100", docs) == [True]
+        assert run('every $b in doc("bib.xml")//book '
+                   "satisfies $b/price > 100", docs) == [False]
+
+    def test_sequences_flatten(self, docs):
+        assert run("(1, (2, 3), ())", docs) == [1.0, 2.0, 3.0]
+
+    def test_range(self, docs):
+        assert run("2 to 5", docs) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_range_non_numeric_rejected(self, docs):
+        with pytest.raises(QueryTypeError):
+            run("'a' to 'b'", docs)
+
+    def test_undefined_variable_rejected(self, docs):
+        with pytest.raises(ExecutionError):
+            run("$nope", docs)
+
+    def test_unknown_document_rejected(self, docs):
+        with pytest.raises(ExecutionError):
+            run('doc("other.xml")', docs)
+
+    def test_path_on_atomic_rejected(self, docs):
+        with pytest.raises(QueryTypeError):
+            run("let $x := 5 return $x/y", docs)
+
+
+class TestFunctions:
+    def test_data(self, docs):
+        result = run('data(doc("bib.xml")//last)', docs)
+        assert result == ["Stevens", "Abiteboul", "Buneman", "Gerbarg"]
+
+    def test_distinct_values(self, docs):
+        result = run(
+            'distinct-values(for $b in doc("bib.xml")//book '
+            "return count($b/author))", docs)
+        assert result == [1.0, 2.0, 0.0]
+
+    def test_empty_exists(self, docs):
+        assert run('empty(doc("bib.xml")//magazine)', docs) == [True]
+        assert run('exists(doc("bib.xml")//book)', docs) == [True]
+
+    def test_aggregates(self, docs):
+        assert run('max(doc("bib.xml")//price)', docs) == [129.95]
+        assert run('min(doc("bib.xml")//price)', docs) == [39.95]
+        result = run('avg(doc("bib.xml")//price)', docs)
+        assert abs(result[0] - (65.95 + 39.95 + 129.95) / 3) < 1e-9
+
+    def test_string_join(self, docs):
+        assert run('string-join(("a", "b", "c"), "-")', docs) == ["a-b-c"]
+
+    def test_sequence_to_string(self, docs):
+        text = sequence_to_string(run("<a>x</a>, 1", docs))
+        assert text == "<a>x</a> 1"
+
+    def test_implicit_context_document(self, docs):
+        # With a single document loaded, absolute paths work without doc().
+        assert len(run("/bib/book", docs)) == 3

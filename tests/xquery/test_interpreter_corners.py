@@ -1,0 +1,141 @@
+"""Edge-case tests for the XQuery interpreter and its helpers."""
+
+import pytest
+
+from repro.errors import QueryTypeError
+from repro.xml.model import (
+    Attribute,
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+from repro.xquery import evaluate_xquery
+from repro.xquery.interpreter import clone_node, sequence_to_string
+
+
+class TestCloneNode:
+    def test_clone_element_deep(self):
+        source = parse('<a x="1"><b>t</b><!--c--><?p d?></a>').root
+        copy = clone_node(source)
+        assert copy is not source
+        assert serialize(copy) == serialize(source)
+        assert copy.parent is None
+
+    def test_clone_document(self):
+        doc = parse("<a><b/></a>")
+        copy = clone_node(doc)
+        assert isinstance(copy, Document)
+        assert serialize(copy) == serialize(doc)
+
+    def test_clone_leaves(self):
+        assert clone_node(Text("x")).value == "x"
+        assert clone_node(Comment("c")).value == "c"
+        assert clone_node(Attribute("n", "v")).value == "v"
+        pi = clone_node(ProcessingInstruction("t", "d"))
+        assert (pi.target, pi.data) == ("t", "d")
+
+
+class TestConstructorCorners:
+    def run(self, query, text="<r><a k='1'>x</a><a k='2'>y</a></r>"):
+        return evaluate_xquery(query, documents={"d.xml": parse(text)})
+
+    def test_attribute_node_in_content_becomes_attribute(self):
+        result = self.run('for $k in doc("d.xml")//a[1]/@k '
+                          "return <o>{$k}</o>")
+        assert result[0].get_attribute("k") == "1"
+
+    def test_document_node_in_content_splices_children(self):
+        result = self.run('<wrap>{doc("d.xml")}</wrap>')
+        wrapped = result[0]
+        assert [c.tag for c in wrapped.child_elements()] == ["r"]
+
+    def test_sequence_of_nodes_copied_in_order(self):
+        result = self.run('<all>{doc("d.xml")//a}</all>')
+        assert [c.get_attribute("k")
+                for c in result[0].child_elements()] == ["1", "2"]
+
+    def test_mixed_atoms_and_nodes(self):
+        result = self.run('<m>{1, 2, doc("d.xml")//a[1], 3}</m>')
+        text_parts = [c for c in result[0].children()]
+        assert result[0].string_value() == "1 2x3"
+
+    def test_nested_constructor_attribute_template_spacing(self):
+        result = self.run("<o s='{(1, 2, 3)}'/>")
+        assert result[0].get_attribute("s") == "1 2 3"
+
+    def test_empty_enclosed_sequence(self):
+        result = self.run("<o>{()}</o>")
+        assert result[0].string_value() == ""
+
+
+class TestOrderByCorners:
+    DOC = ("<r><i><n>b</n><v>2</v></i><i><n>a</n><v>10</v></i>"
+           "<i><n>c</n><v>1</v></i></r>")
+
+    def run(self, query):
+        return evaluate_xquery(query, documents={"d.xml": parse(self.DOC)})
+
+    def test_numeric_keys_sort_numerically(self):
+        result = self.run('for $i in doc("d.xml")//i order by $i/v '
+                          "return $i/v/text()")
+        assert [n.string_value() for n in result] == ["1", "2", "10"]
+
+    def test_string_keys_sort_lexically(self):
+        result = self.run('for $i in doc("d.xml")//i order by $i/n '
+                          "return $i/n/text()")
+        assert [n.string_value() for n in result] == ["a", "b", "c"]
+
+    def test_empty_key_sorts_first_as_empty_string(self):
+        result = self.run('for $i in doc("d.xml")//i '
+                          "order by $i/missing return count($i)")
+        assert result == [1.0, 1.0, 1.0]
+
+    def test_multi_key_stable(self):
+        result = self.run(
+            'for $i in doc("d.xml")//i '
+            "order by count($i/ghost), $i/n descending "
+            "return $i/n/text()")
+        assert [n.string_value() for n in result] == ["c", "b", "a"]
+
+    def test_sequence_key_rejected(self):
+        with pytest.raises(QueryTypeError):
+            self.run('for $i in doc("d.xml")/r '
+                     "order by $i/i/v return $i")
+
+
+class TestSequenceToString:
+    def test_mixed_sequence(self):
+        element = Element("a")
+        element.append_text("x")
+        assert sequence_to_string([element, 1.0, "s"]) == "<a>x</a> 1 s"
+
+    def test_non_list(self):
+        assert sequence_to_string(2.5) == "2.5"
+
+
+class TestFunctionsCorners:
+    def run(self, query):
+        return evaluate_xquery(
+            query, documents={"d.xml": parse("<r><v>3</v><v>4</v></r>")})
+
+    def test_avg_min_max_empty(self):
+        assert self.run('avg(doc("d.xml")//ghost)') == []
+        assert self.run('min(doc("d.xml")//ghost)') == []
+        assert self.run('max(doc("d.xml")//ghost)') == []
+
+    def test_aggregates_over_non_numeric_rejected(self):
+        with pytest.raises(QueryTypeError):
+            evaluate_xquery("avg(('a', 'b'))",
+                            documents={"d.xml": parse("<r/>")})
+
+    def test_string_join_of_nodes(self):
+        assert self.run(
+            'string-join(doc("d.xml")//v, "+")') == ["3+4"]
+
+    def test_distinct_values_preserves_first_occurrence_order(self):
+        assert evaluate_xquery("distinct-values((3, 1, 3, 2, 1))",
+                               documents={}) == [3.0, 1.0, 2.0]

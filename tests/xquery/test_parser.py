@@ -1,0 +1,186 @@
+"""Tests for the XQuery parser (FLWOR, constructors, and friends)."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xpath import ast as xp
+from repro.xquery import ast as xq
+from repro.xquery.parser import parse_xquery
+
+
+class TestFLWOR:
+    def test_simple_for_return(self):
+        expr = parse_xquery("for $b in //book return $b")
+        assert isinstance(expr, xq.FLWOR)
+        assert len(expr.clauses) == 1
+        assert expr.clauses[0].variable == "b"
+        assert expr.return_expr == xq.VarRef("b")
+
+    def test_for_with_path_source(self):
+        expr = parse_xquery('for $b in document("bib.xml")/bib/book '
+                            "return $b/title")
+        clause = expr.clauses[0]
+        assert isinstance(clause.expr, xq.PathFrom)
+        assert isinstance(clause.expr.source, xp.FunctionCall)
+        assert isinstance(expr.return_expr, xq.PathFrom)
+
+    def test_multiple_for_variables_one_clause(self):
+        expr = parse_xquery("for $a in //x, $b in //y return $a")
+        assert [c.variable for c in expr.clauses] == ["a", "b"]
+        assert all(isinstance(c, xq.ForClause) for c in expr.clauses)
+
+    def test_mixed_for_let(self):
+        # Example 1 from the paper (shape).
+        expr = parse_xquery(
+            "for $a in //e1, $b in //e2 "
+            "let $c := //e3, $d := //e4 "
+            "for $e in //e5 "
+            "return $a")
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "ForClause", "LetClause",
+                         "LetClause", "ForClause"]
+
+    def test_for_at_position_variable(self):
+        expr = parse_xquery("for $x at $i in //a return $i")
+        assert expr.clauses[0].position_var == "i"
+
+    def test_where_clause(self):
+        expr = parse_xquery(
+            "for $b in //book where $b/price > 50 return $b/title")
+        assert isinstance(expr.where, xp.BinaryOp)
+
+    def test_order_by(self):
+        expr = parse_xquery(
+            "for $b in //book order by $b/title descending, $b/@year "
+            "return $b")
+        assert len(expr.order_by) == 2
+        assert expr.order_by[0].descending
+        assert not expr.order_by[1].descending
+
+    def test_nested_flwor(self):
+        expr = parse_xquery(
+            "for $a in //x return for $b in $a/y return $b")
+        assert isinstance(expr.return_expr, xq.FLWOR)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("for $a in //x")
+
+    def test_let_requires_assignment(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("let $a in //x return $a")
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        expr = parse_xquery("<results/>")
+        assert expr == xq.ElementConstructor("results")
+
+    def test_text_content(self):
+        expr = parse_xquery("<greeting>hello world</greeting>")
+        assert expr.children == ("hello world",)
+
+    def test_enclosed_expression(self):
+        expr = parse_xquery("<out>{ 1 + 2 }</out>")
+        enclosed = expr.children[0]
+        assert isinstance(enclosed, xq.EnclosedExpr)
+        assert isinstance(enclosed.expr, xp.BinaryOp)
+
+    def test_nested_constructor(self):
+        expr = parse_xquery("<a><b>{$x}</b><c/></a>")
+        assert isinstance(expr.children[0], xq.ElementConstructor)
+        assert expr.children[0].tag == "b"
+        assert expr.children[1].tag == "c"
+
+    def test_fig1_query_shape(self):
+        """The exact Fig. 1(a) query from the paper parses into the
+        expected structure."""
+        expr = parse_xquery(
+            '<results> {'
+            ' for $b in document("bib.xml")/bib/book'
+            ' let $t := $b/title'
+            ' let $a := $b/author'
+            ' return <result> {$t} {$a} </result>'
+            ' } </results>')
+        assert isinstance(expr, xq.ElementConstructor)
+        assert expr.tag == "results"
+        flwor = [c for c in expr.children
+                 if isinstance(c, xq.EnclosedExpr)][0].expr
+        assert isinstance(flwor, xq.FLWOR)
+        inner = flwor.return_expr
+        assert isinstance(inner, xq.ElementConstructor)
+        assert inner.tag == "result"
+        placeholders = [c for c in inner.children
+                        if isinstance(c, xq.EnclosedExpr)]
+        assert len(placeholders) == 2
+
+    def test_attribute_templates(self):
+        expr = parse_xquery('<a year="{$y}-x"/>')
+        name, template = expr.attributes[0]
+        assert name == "year"
+        assert isinstance(template.parts[0], xq.EnclosedExpr)
+        assert template.parts[1] == "-x"
+
+    def test_boundary_whitespace_stripped(self):
+        expr = parse_xquery("<a>  <b/>  </a>")
+        assert all(not isinstance(c, str) for c in expr.children)
+
+    def test_brace_escapes(self):
+        expr = parse_xquery("<a>{{literal}}</a>")
+        assert expr.children == ("{literal}",)
+
+    def test_mismatched_end_tag_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("<a></b>")
+
+    def test_unclosed_constructor_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("<a><b></b>")
+
+    def test_unclosed_enclosed_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("<a>{ 1 + 2 </a>")
+
+
+class TestOtherForms:
+    def test_if_then_else(self):
+        expr = parse_xquery("if ($x > 1) then 'big' else 'small'")
+        assert isinstance(expr, xq.IfExpr)
+
+    def test_quantified_some(self):
+        expr = parse_xquery("some $x in //a satisfies $x > 1")
+        assert expr.quantifier == "some"
+
+    def test_quantified_every(self):
+        expr = parse_xquery("every $x in //a satisfies $x > 1")
+        assert expr.quantifier == "every"
+
+    def test_sequence(self):
+        expr = parse_xquery("1, 2, 3")
+        assert isinstance(expr, xq.SequenceExpr)
+        assert len(expr.items) == 3
+
+    def test_empty_sequence(self):
+        assert parse_xquery("()") == xq.SequenceExpr(())
+
+    def test_range(self):
+        expr = parse_xquery("1 to 5")
+        assert isinstance(expr, xq.RangeExpr)
+
+    def test_variable_path(self):
+        expr = parse_xquery("$b/title/text()")
+        assert isinstance(expr, xq.PathFrom)
+        assert expr.source == xq.VarRef("b")
+        assert len(expr.path.steps) == 2
+
+    def test_variable_descendant_path(self):
+        expr = parse_xquery("$b//title")
+        assert expr.path.steps[0].axis is xp.Axis.DESCENDANT_OR_SELF
+
+    def test_comments_in_query(self):
+        expr = parse_xquery("(: doc :) for $x in //a return $x")
+        assert isinstance(expr, xq.FLWOR)
+
+    def test_plain_xpath_still_parses(self):
+        expr = parse_xquery("/bib/book[@year = '1994']/title")
+        assert isinstance(expr, xp.LocationPath)
