@@ -29,6 +29,7 @@ Quick start::
     print(report.strategy, report.stats, report.io)
 """
 
+from repro.engine.cache import PreparedQuery
 from repro.engine.database import Database, QueryResult
 from repro.errors import (
     ExecutionError,
@@ -51,6 +52,7 @@ __all__ = [
     "Database",
     "ExecutionError",
     "PlanError",
+    "PreparedQuery",
     "QueryResult",
     "QuerySyntaxError",
     "QueryTypeError",

@@ -170,6 +170,34 @@ class PatternGraph:
     def has_residuals(self) -> bool:
         return any(v.residual for v in self.vertices.values())
 
+    def signature(self) -> str:
+        """A stable text key for memoizing per-pattern planner decisions.
+
+        Covers everything the cost model reads: vertex labels, kinds,
+        value constraints, residual *counts*, output/root marks, and the
+        edge list.  (Residual predicate bodies are not serialized — the
+        cost model only counts them — so two patterns differing solely in
+        residual ASTs intentionally share a signature.)  The string is
+        computed once and cached; pattern graphs are immutable after
+        compilation.
+        """
+        cached = getattr(self, "_signature", None)
+        if cached is None:
+            parts = []
+            for vertex in self.vertices.values():
+                parts.append(
+                    f"v{vertex.vertex_id}:{vertex.label_text()}"
+                    f":{vertex.kind}"
+                    f":{sorted((op, repr(lit)) for op, lit in vertex.value_constraints)!r}"
+                    f":r{len(vertex.residual)}"
+                    f":{'O' if vertex.output else '-'}"
+                    f":{'R' if vertex.vertex_id == self.root else '-'}")
+            for edge in self.edges:
+                parts.append(f"e{edge.source}-{edge.relation}-{edge.target}")
+            cached = ";".join(parts)
+            self._signature = cached
+        return cached
+
     def vertex_count(self) -> int:
         return len(self.vertices)
 

@@ -5,7 +5,9 @@ documents (text, files, or trees), pick an execution strategy, run XPath
 and XQuery, inspect EXPLAIN output and per-query metrics.
 """
 
+from repro.engine.cache import PlanCache, PreparedQuery, ResultCache
 from repro.engine.database import Database, QueryResult
 from repro.engine.mapping import storage_preorder_map
 
-__all__ = ["Database", "QueryResult", "storage_preorder_map"]
+__all__ = ["Database", "PlanCache", "PreparedQuery", "QueryResult",
+           "ResultCache", "storage_preorder_map"]

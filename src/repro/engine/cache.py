@@ -1,0 +1,246 @@
+"""Query compilation & result caching — the serving layer.
+
+The seed engine treated every :meth:`Database.query` call as a batch job:
+lex → parse → backward-translate → rewrite → plan → run, with nothing
+remembered between calls.  Repeated-query traffic (the ROADMAP's
+"millions of users" workload) re-pays the whole front half of that
+pipeline per call even though it is a pure function of the query text.
+
+Three caches fix that:
+
+:class:`PlanCache`
+    A size-bounded LRU mapping *normalized query text* to the compiled
+    logical plan (``rewrite_plan(backward_translate(parse_xquery(q)))``).
+    Plans are immutable after compilation, so one compiled plan serves
+    any number of concurrent executions, strategies, and documents.
+
+:class:`ResultCache`
+    A size-bounded LRU of fully materialised result sequences for
+    *read-only* executions, keyed by (normalized text, strategy, target
+    document) and stamped with the database's **generation vector** — a
+    tuple of every loaded document's monotonically increasing update
+    generation plus a load epoch.  Any ``insert``/``delete``/``load``
+    bumps a generation, so stale hits are structurally impossible: a
+    stamp mismatch is treated as a miss and the dead entry is dropped.
+    Queries with external variable bindings bypass this cache (bindings
+    are not part of the key).
+
+Strategy memo (wired in :class:`repro.physical.planner.PhysicalPlanner`)
+    ``auto``-mode strategy choice is memoized per document, keyed on the
+    pattern signature and the statistics generation, so a hot query does
+    not re-cost every strategy on every call.
+
+Every cache exposes hit/miss/eviction counters; the database aggregates
+them in :meth:`Database.cache_report` and per-query in
+``QueryResult.stats["cache"]``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+__all__ = ["CacheStats", "LRUCache", "PlanCache", "ResultCache",
+           "PreparedQuery", "normalize_query"]
+
+
+def normalize_query(text: str) -> str:
+    """The cache key for a query text: whitespace-collapsed.
+
+    This is deliberately conservative — only runs of whitespace are
+    folded, so two texts normalize equal only when they tokenize
+    identically.  (Whitespace inside string literals can matter, so the
+    plan cache keys on the *normalized* text but compiles the *original*
+    text; see :meth:`PlanCache.get_or_compile`.)
+    """
+    return " ".join(text.split())
+
+
+class CacheStats:
+    """Hit/miss/eviction/invalidation counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class LRUCache:
+    """A size-bounded LRU map with shared-counter accounting.
+
+    ``capacity <= 0`` disables the cache entirely (every lookup is a
+    recorded miss, nothing is stored) — that is the documented way to
+    switch a cache off.
+    """
+
+    def __init__(self, capacity: int, stats: Optional[CacheStats] = None):
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        """The cached value, or ``None`` on a miss (counted)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: Any) -> Any:
+        """Like :meth:`get` but without touching LRU order or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store ``value``, evicting the LRU entry beyond capacity."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Any) -> None:
+        """Drop one entry (counted as an invalidation if present)."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        dropped = len(self._entries)
+        self.stats.invalidations += dropped
+        self._entries.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def report(self) -> dict[str, int]:
+        """Counters plus occupancy, for :meth:`Database.cache_report`."""
+        report = self.stats.snapshot()
+        report["entries"] = len(self._entries)
+        report["capacity"] = self.capacity
+        return report
+
+
+class PlanCache:
+    """LRU of compiled logical plans keyed by normalized query text."""
+
+    def __init__(self, capacity: int = 128):
+        self._lru = LRUCache(capacity)
+
+    def get_or_compile(self, text: str,
+                       compiler: Callable[[str], Any]) -> tuple[Any, bool]:
+        """``(plan, was_hit)`` — compiles (and stores) on a miss."""
+        key = normalize_query(text)
+        plan = self._lru.get(key)
+        if plan is not None:
+            return plan, True
+        plan = compiler(text)
+        self._lru.put(key, plan)
+        return plan, False
+
+    def clear(self) -> int:
+        return self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def report(self) -> dict[str, int]:
+        return self._lru.report()
+
+
+class ResultCache:
+    """Generation-stamped LRU of materialised read-only results.
+
+    Entries are ``(stamp, items, strategy)``; a lookup whose stamp does
+    not exactly match the database's current generation vector drops the
+    entry and reports a miss, so results can never survive an update to
+    any loaded document.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self._lru = LRUCache(capacity)
+
+    @staticmethod
+    def key(text: str, strategy: str, uri: Optional[str]) -> tuple:
+        return (normalize_query(text), strategy, uri)
+
+    def lookup(self, key: tuple, stamp: tuple) -> Optional[tuple]:
+        """``(items, strategy)`` on a fresh hit, else ``None``."""
+        entry = self._lru.peek(key)
+        if entry is None:
+            self._lru.stats.misses += 1
+            return None
+        cached_stamp, items, strategy = entry
+        if cached_stamp != stamp:
+            self._lru.invalidate(key)
+            self._lru.stats.misses += 1
+            return None
+        # Re-record as a genuine hit (peek skipped the counters).
+        self._lru.get(key)
+        return items, strategy
+
+    def store(self, key: tuple, stamp: tuple, items: list,
+              strategy: Optional[str]) -> None:
+        self._lru.put(key, (stamp, list(items), strategy))
+
+    def clear(self) -> int:
+        return self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def report(self) -> dict[str, int]:
+        return self._lru.report()
+
+
+class PreparedQuery:
+    """A pre-compiled query bound to a database — the serving-path API.
+
+    Obtained from :meth:`Database.prepare`; holds the compiled logical
+    plan so repeated :meth:`run` calls skip the whole compilation
+    pipeline (and still benefit from the result cache)::
+
+        hot = db.prepare("//item[price > 50]/name")
+        for _ in range(10_000):
+            result = hot.run()
+    """
+
+    __slots__ = ("database", "text", "plan")
+
+    def __init__(self, database, text: str, plan):
+        self.database = database
+        self.text = text
+        self.plan = plan
+
+    def run(self, strategy: str = "auto", uri: Optional[str] = None,
+            variables: Optional[dict] = None):
+        """Execute; same contract as :meth:`Database.query`."""
+        return self.database._run_compiled(
+            self.text, self.plan, plan_hit=True, strategy=strategy,
+            uri=uri, variables=variables)
+
+    __call__ = run
+
+    def explain(self, strategy: str = "auto",
+                uri: Optional[str] = None) -> str:
+        """The plan + strategy explanation for this prepared query."""
+        return self.database.explain(self.text, strategy=strategy, uri=uri)
+
+    def __repr__(self) -> str:
+        return f"<PreparedQuery {normalize_query(self.text)!r}>"

@@ -11,41 +11,73 @@ Typical use::
         print(node.string_value())
     print(result.strategy, result.stats, result.io)
 
+    hot = db.prepare("//book/title")       # compiled once
+    hot.run(); hot.run()                   # served from the caches
+    print(db.cache_report())
+
 A loaded document materialises the full storage stack: the model tree
 (reference semantics, residual checks), the succinct store (NoK), the
-interval store + tag index (join strategies), the content B+ tree
+interval store + tag index (join strategies), the content value indexes
 (index-scan), one-pass statistics (cost model), all charging I/O to the
 database's page manager.
+
+Serving layer
+-------------
+
+Repeated queries hit two LRU caches (:mod:`repro.engine.cache`): a
+**plan cache** (compiled logical plans keyed by normalized text) and a
+generation-stamped **result cache** for read-only executions.  Structural
+updates bump the owning document's ``generation``, which invalidates
+result-cache entries lazily and expires memoized strategy choices.
+
+Updates are **incremental**: ``insert``/``delete`` splice the primary
+stores locally and apply *deltas* to every derived structure (tag index
+postings, statistics counters, value indexes, node list, pre-order map)
+instead of rebuilding them from scratch.  ``rebuild_derived(force=True)``
+remains as an escape hatch, and ``debug_checks=True`` (or the
+``REPRO_DEBUG_UPDATES`` environment variable) cross-checks the
+incremental state against a fresh rebuild after every update.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, StorageError
 from repro.xml import model
 from repro.xml.parser import parse
 from repro.xml.serializer import serialize
 from repro.xpath.semantics import Context, sequence_boolean
-from repro.storage.btree import BPlusTree
 from repro.storage.interval import IntervalDocument
 from repro.storage.pages import PageManager
 from repro.storage.stats import DocumentStatistics
 from repro.storage.succinct import SuccinctDocument
 from repro.storage.tagindex import TagIndex
+from repro.storage.valueindex import ContentIndex
 from repro.algebra.backward import backward_translate
 from repro.algebra.cost import CostModel
 from repro.algebra.plan import explain_plan
 from repro.algebra.rewrite import rewrite_plan
+from repro.engine.cache import (
+    PlanCache,
+    PreparedQuery,
+    ResultCache,
+)
 from repro.engine.executor import PhysicalExecutionContext, run_plan
-from repro.engine.mapping import storage_node_list, storage_preorder_map
+from repro.engine.mapping import (
+    apply_delete_mapping,
+    apply_insert_mapping,
+    storage_node_list,
+    storage_preorder_map,
+)
 from repro.physical.base import MatchRuntime
 from repro.physical.planner import STRATEGIES, PhysicalPlanner
 from repro.xquery.parser import parse_xquery
 
-__all__ = ["Database", "QueryResult", "LoadedDocument"]
+__all__ = ["Database", "QueryResult", "LoadedDocument", "PreparedQuery"]
 
 
 @dataclass
@@ -58,11 +90,16 @@ class LoadedDocument:
     interval: IntervalDocument
     tag_index: TagIndex
     statistics: DocumentStatistics
-    value_index: BPlusTree
-    numeric_index: BPlusTree
+    value_index: ContentIndex
+    numeric_index: ContentIndex
     runtime: MatchRuntime
     node_list: list            # storage pre-order id -> model node
     preorder_map: dict         # model node_id -> storage pre-order id
+    # Monotonically increasing update stamp; any structural change bumps
+    # it, which invalidates result-cache entries and strategy memos.
+    generation: int = 0
+    # (pattern signature, statistics generation) -> chosen strategy.
+    strategy_memo: dict = field(default_factory=dict)
 
     def node_for(self, preorder: int) -> model.Node:
         """The model node behind a storage pre-order id."""
@@ -102,12 +139,27 @@ class QueryResult:
 
 
 class Database:
-    """An in-memory XML database with pluggable execution strategies."""
+    """An in-memory XML database with pluggable execution strategies.
 
-    def __init__(self, page_size: int = 4096, pool_pages: int = 256):
+    Cache knobs: ``plan_cache_size`` / ``result_cache_size`` bound the
+    two serving-layer caches (0 disables a cache).  ``debug_checks=True``
+    cross-checks every incremental update against a fresh rebuild of the
+    derived structures (slow; meant for tests — also enabled by setting
+    the ``REPRO_DEBUG_UPDATES`` environment variable).
+    """
+
+    def __init__(self, page_size: int = 4096, pool_pages: int = 256,
+                 plan_cache_size: int = 128,
+                 result_cache_size: int = 256,
+                 debug_checks: bool = False):
         self.pages = PageManager(page_size=page_size, pool_pages=pool_pages)
         self.documents: dict[str, LoadedDocument] = {}
         self._default_uri: Optional[str] = None
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.debug_checks = (debug_checks
+                             or bool(os.environ.get("REPRO_DEBUG_UPDATES")))
+        self._load_epoch = 0
 
     # -- loading ---------------------------------------------------------------
 
@@ -129,22 +181,8 @@ class Database:
         interval = IntervalDocument.from_document(tree)
         tag_index = TagIndex(interval, pages=self.pages)
         statistics = DocumentStatistics(interval)
-        value_segment = self.pages.segment(f"value-btree:{uri}")
-        value_index = BPlusTree.bulk_load(succinct.content.sorted_entries(),
-                                          segment=value_segment)
-        # A second, typed index for numeric range predicates: string
-        # order is wrong for numbers ("9" > "10"), so values that parse
-        # as numbers are indexed by their float key too.
-        numeric_pairs = []
-        for _, value, owner in succinct.content:
-            try:
-                numeric_pairs.append((float(value), owner))
-            except ValueError:
-                continue
-        numeric_pairs.sort(key=lambda pair: pair[0])
-        numeric_index = BPlusTree.bulk_load(
-            numeric_pairs,
-            segment=self.pages.segment(f"numeric-btree:{uri}"))
+        value_index, numeric_index = self._build_value_indexes(succinct,
+                                                               uri)
         node_list = storage_node_list(tree)
         preorder_map = storage_preorder_map(tree)
         document = LoadedDocument(
@@ -161,7 +199,26 @@ class Database:
         self.documents[uri] = document
         if self._default_uri is None:
             self._default_uri = uri
+        # A (re)load changes what any query can see: new stamp epoch.
+        self._load_epoch += 1
         return document
+
+    def _build_value_indexes(self, succinct: SuccinctDocument,
+                             uri: str) -> tuple[ContentIndex, ContentIndex]:
+        """The two content value indexes (string + numeric) over one
+        succinct store's content heap.  One shared constructor — the
+        string/numeric duplication that used to live in both
+        ``load_tree`` and the rebuild path is gone."""
+        value_index = ContentIndex(
+            succinct.content,
+            segment=self.pages.segment(f"value-btree:{uri}"))
+        # A second, typed index for numeric range predicates: string
+        # order is wrong for numbers ("9" > "10"), so values that parse
+        # as numbers are indexed by their float key too.
+        numeric_index = ContentIndex(
+            succinct.content, numeric=True,
+            segment=self.pages.segment(f"numeric-btree:{uri}"))
+        return value_index, numeric_index
 
     def _residual_checker(self, document: LoadedDocument):
         from repro.xpath.semantics import XPathEvaluator
@@ -185,6 +242,33 @@ class Database:
             raise ExecutionError(f"document {target!r} is not loaded")
         return self.documents[target]
 
+    # -- compilation ------------------------------------------------------------
+
+    @staticmethod
+    def compile_text(text: str):
+        """The full compilation pipeline: parse → backward-translate →
+        rewrite.  Pure function of the query text (the backward
+        output-to-input analysis prunes dead let-bindings before the
+        forward translation, Section 6)."""
+        return rewrite_plan(backward_translate(parse_xquery(text)))
+
+    def _compiled_plan(self, text: str):
+        """``(plan, was_cache_hit)`` through the plan cache."""
+        return self.plan_cache.get_or_compile(text, self.compile_text)
+
+    def prepare(self, text: str) -> PreparedQuery:
+        """Compile ``text`` once and return a reusable
+        :class:`~repro.engine.cache.PreparedQuery` handle."""
+        plan, _ = self._compiled_plan(text)
+        return PreparedQuery(self, text, plan)
+
+    def _generation_stamp(self) -> tuple:
+        """The generation vector result-cache entries are stamped with:
+        the load epoch plus every loaded document's update generation."""
+        return (self._load_epoch,) + tuple(
+            sorted((uri, document.generation)
+                   for uri, document in self.documents.items()))
+
     # -- querying ---------------------------------------------------------------
 
     def query(self, text: str, strategy: str = "auto",
@@ -197,27 +281,99 @@ class Database:
         model.  ``uri`` picks the context document for absolute paths.
         ``variables`` provides external bindings, e.g.
         ``db.query("//book[title = $t]", variables={"t": ["TCP/IP"]})``.
+
+        Compilation goes through the plan cache; read-only executions
+        without variables additionally consult the result cache (see
+        ``QueryResult.stats["cache"]`` and :meth:`cache_report`).
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
                 f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
-        expr = parse_xquery(text)
-        # Backward (output-to-input) analysis prunes dead let-bindings
-        # from comprehensions before the forward translation (Section 6).
-        plan = rewrite_plan(backward_translate(expr))
+        plan, plan_hit = self._compiled_plan(text)
+        return self._run_compiled(text, plan, plan_hit=plan_hit,
+                                  strategy=strategy, uri=uri,
+                                  variables=variables)
+
+    def _run_compiled(self, text: str, plan, plan_hit: bool,
+                      strategy: str, uri: Optional[str],
+                      variables: Optional[dict]) -> QueryResult:
+        """Execute a compiled plan through the result cache."""
+        if strategy not in STRATEGIES:
+            raise ExecutionError(
+                f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+        started = time.perf_counter()
+        cacheable = not variables
+        stamp = self._generation_stamp()
+        key = ResultCache.key(text, strategy, uri or self._default_uri)
+        if cacheable:
+            cached = self.result_cache.lookup(key, stamp)
+            if cached is not None:
+                items, used_strategy = cached
+                stats = {"nodes_visited": 0, "postings_scanned": 0,
+                         "intermediate_results": 0, "structural_joins": 0,
+                         "solutions": len(items)}
+                stats["cache"] = self._cache_info(
+                    plan="hit" if plan_hit else "miss", result="hit")
+                return QueryResult(
+                    items=list(items), strategy=used_strategy,
+                    elapsed_seconds=time.perf_counter() - started,
+                    stats=stats,
+                    io={k: 0 for k in
+                        self.pages.counters.snapshot()})
         context = self._execution_context(uri, strategy,
                                           variables=variables)
-        self.pages.counters.reset()
-        started = time.perf_counter()
+        # Snapshot-and-diff the *shared* I/O counters: resetting them
+        # here (as the seed did) clobbered concurrent / interleaved
+        # queries' accounting.
+        io_before = self.pages.counters.snapshot()
         items = run_plan(plan, context)
         elapsed = time.perf_counter() - started
+        io_after = self.pages.counters.snapshot()
+        if cacheable:
+            self.result_cache.store(key, stamp, items,
+                                    context.last_strategy)
+        stats = context.accumulated_stats.snapshot()
+        stats["cache"] = self._cache_info(
+            plan="hit" if plan_hit else "miss",
+            result="miss" if cacheable else "bypass")
         return QueryResult(
             items=items,
             strategy=context.last_strategy,
             elapsed_seconds=elapsed,
-            stats=context.accumulated_stats.snapshot(),
-            io=self.pages.counters.snapshot(),
+            stats=stats,
+            io={k: io_after[k] - io_before[k] for k in io_after},
         )
+
+    def _cache_info(self, plan: str, result: str) -> dict:
+        """The per-query cache report embedded in ``QueryResult.stats``:
+        this query's plan/result cache outcome plus the cumulative
+        hit/miss/eviction counters."""
+        return {
+            "plan": plan,
+            "result": result,
+            "plan_cache": self.plan_cache.report(),
+            "result_cache": self.result_cache.report(),
+        }
+
+    def cache_report(self) -> dict:
+        """Counters and occupancy of every serving-layer cache."""
+        return {
+            "plan_cache": self.plan_cache.report(),
+            "result_cache": self.result_cache.report(),
+            "strategy_memo": {
+                uri: len(document.strategy_memo)
+                for uri, document in self.documents.items()},
+            "generations": {
+                uri: document.generation
+                for uri, document in self.documents.items()},
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan, result, and strategy choice."""
+        self.plan_cache.clear()
+        self.result_cache.clear()
+        for document in self.documents.values():
+            document.strategy_memo.clear()
 
     def xpath(self, text: str, strategy: str = "auto",
               uri: Optional[str] = None) -> QueryResult:
@@ -243,12 +399,12 @@ class Database:
                 uri: Optional[str] = None) -> str:
         """The logical plan, the chosen physical strategy per τ, and the
         cost estimates."""
-        expr = parse_xquery(text)
-        plan = rewrite_plan(backward_translate(expr))
+        plan, _ = self._compiled_plan(text)
         lines = [explain_plan(plan)]
         document = self.document(uri)
         cost_model = CostModel(document.statistics)
-        planner = PhysicalPlanner(cost_model)
+        planner = PhysicalPlanner(cost_model,
+                                  choice_memo=document.strategy_memo)
         from repro.algebra.plan import PlanNode, Tau
 
         def walk(node: PlanNode) -> None:
@@ -287,6 +443,12 @@ class Database:
             context_node=document.tree, strategy=strategy,
             variables=variables)
 
+    def planner_for(self, document: LoadedDocument) -> PhysicalPlanner:
+        """A physical planner over the document's live statistics, with
+        the document's persistent strategy memo attached."""
+        return PhysicalPlanner(CostModel(document.statistics),
+                               choice_memo=document.strategy_memo)
+
     # -- updates -------------------------------------------------------------------
 
     def insert(self, parent_path: str, fragment: str,
@@ -296,9 +458,9 @@ class Database:
         ``parent_path`` selects, keeping every storage structure aligned.
 
         The succinct and interval stores are spliced in place (their
-        update metrics are returned); the derived structures (tag index,
-        statistics, value indexes, pre-order maps) are rebuilt — they are
-        indexes over the stores, not primary data.
+        update metrics are returned) and every derived structure — tag
+        index, statistics, value indexes, pre-order maps — absorbs a
+        *local delta* for the inserted subtree instead of a rebuild.
         """
         document = self.document(uri)
         targets = self.query(parent_path, uri=uri).items
@@ -330,7 +492,11 @@ class Database:
         parent.insert(position if position < len(element_children)
                       else len(element_children), subtree)
 
-        self._rebuild_derived(document)
+        self._apply_insert_deltas(
+            document, subtree,
+            insert_pre=interval_metrics["inserted_at"],
+            count=interval_metrics["inserted_nodes"],
+            content_appended=succinct_metrics["content_appended"])
         return {"succinct": succinct_metrics, "interval": interval_metrics}
 
     def delete(self, path: str, uri: Optional[str] = None) -> dict:
@@ -348,29 +514,84 @@ class Database:
             raise ExecutionError("cannot delete the document element's "
                                  "parent")
         preorder = document.preorder_map[victim.node_id]
+
+        # Derived deltas that need pre-splice labels run first: the tag
+        # index drops the doomed postings and the statistics retract the
+        # subtree's contributions while every ``pre`` is still valid.
+        record = document.interval.node(preorder)
+        count = record.end - record.pre + 1
+        doomed_records = document.interval.nodes[preorder:record.end + 1]
+        document.tag_index.apply_delete(doomed_records)
+        document.statistics.apply_delete(document.interval, preorder)
+        doomed_content = document.succinct.content_ids_in(preorder, count)
+
         succinct_metrics = document.succinct.delete_subtree(preorder)
         interval_metrics = document.interval.delete_subtree(preorder)
         victim.parent.remove(victim)
-        self._rebuild_derived(document)
+
+        self._apply_delete_deltas(document, preorder, count,
+                                  doomed_content)
         return {"succinct": succinct_metrics, "interval": interval_metrics}
+
+    # -- incremental derived maintenance ------------------------------------------
+
+    def _apply_insert_deltas(self, document: LoadedDocument,
+                             subtree: model.Element, insert_pre: int,
+                             count: int, content_appended: int) -> None:
+        """Absorb one inserted subtree into every derived structure."""
+        records = document.interval.nodes[insert_pre:insert_pre + count]
+        document.tag_index.apply_insert(records)
+        document.statistics.apply_insert(document.interval, insert_pre,
+                                         count)
+        document.statistics.finalize_update(document.interval)
+        # The content heap is append-only: the new leaf values are
+        # exactly the last ``content_appended`` ids.
+        total = len(document.succinct.content)
+        for content_id in range(total - content_appended, total):
+            document.value_index.add_content(content_id)
+            document.numeric_index.add_content(content_id)
+        apply_insert_mapping(document.node_list, document.preorder_map,
+                             subtree, insert_pre, count)
+        self._finish_update(document)
+
+    def _apply_delete_deltas(self, document: LoadedDocument,
+                             delete_pre: int, count: int,
+                             doomed_content: list[int]) -> None:
+        """Absorb one deleted subtree into every derived structure
+        (tag index + statistics already retracted pre-splice)."""
+        document.statistics.finalize_update(document.interval)
+        document.value_index.drop_content(doomed_content)
+        document.numeric_index.drop_content(doomed_content)
+        apply_delete_mapping(document.node_list, document.preorder_map,
+                             delete_pre, count)
+        self._finish_update(document)
+
+    def _finish_update(self, document: LoadedDocument) -> None:
+        document.generation += 1
+        document.runtime.refresh_segments()
+        if self.debug_checks:
+            self.verify_derived(document)
+
+    def rebuild_derived(self, uri: Optional[str] = None,
+                        force: bool = True) -> LoadedDocument:
+        """Escape hatch: rebuild every derived structure of ``uri``'s
+        document from the primary stores (the pre-incremental behaviour).
+        """
+        document = self.document(uri)
+        if force:
+            self._rebuild_derived(document)
+        return document
 
     def _rebuild_derived(self, document: LoadedDocument) -> None:
         """Refresh the structures derived from the primary stores."""
+        generation = document.statistics.generation + 1
         document.tag_index = TagIndex(document.interval, pages=self.pages)
         document.statistics = DocumentStatistics(document.interval)
-        document.value_index = BPlusTree.bulk_load(
-            document.succinct.content.sorted_entries(),
-            segment=self.pages.segment(f"value-btree:{document.uri}"))
-        numeric_pairs = []
-        for _, value, owner in document.succinct.content:
-            try:
-                numeric_pairs.append((float(value), owner))
-            except ValueError:
-                continue
-        numeric_pairs.sort(key=lambda pair: pair[0])
-        document.numeric_index = BPlusTree.bulk_load(
-            numeric_pairs,
-            segment=self.pages.segment(f"numeric-btree:{document.uri}"))
+        # Keep the statistics generation monotonic across rebuilds so
+        # memoized strategy choices from older states cannot resurface.
+        document.statistics.generation = generation
+        document.value_index, document.numeric_index = \
+            self._build_value_indexes(document.succinct, document.uri)
         document.node_list = storage_node_list(document.tree)
         document.preorder_map = storage_preorder_map(document.tree)
         document.runtime = MatchRuntime(
@@ -380,6 +601,34 @@ class Database:
             value_index=document.value_index,
             numeric_index=document.numeric_index,
             statistics=document.statistics)
+        document.strategy_memo.clear()
+        document.generation += 1
+
+    def verify_derived(self, document: LoadedDocument) -> None:
+        """Debug cross-check: every incrementally maintained structure
+        must equal a fresh rebuild from the primary stores.  Raises
+        :class:`~repro.errors.StorageError` on divergence."""
+        fresh_stats = DocumentStatistics(document.interval)
+        mine, fresh = (document.statistics.comparable_state(),
+                       fresh_stats.comparable_state())
+        if mine != fresh:
+            diverged = [key for key in fresh if mine.get(key) != fresh[key]]
+            raise StorageError(
+                f"incremental statistics diverged on {diverged}")
+        fresh_tags = TagIndex(document.interval).postings_snapshot()
+        if document.tag_index.postings_snapshot() != fresh_tags:
+            raise StorageError("incremental tag index diverged")
+        for index in (document.value_index, document.numeric_index):
+            fresh_index = ContentIndex(document.succinct.content,
+                                       numeric=index.numeric)
+            if sorted(index.entries()) != sorted(fresh_index.entries()):
+                flavour = "numeric" if index.numeric else "string"
+                raise StorageError(
+                    f"incremental {flavour} value index diverged")
+        if document.node_list != storage_node_list(document.tree):
+            raise StorageError("incremental node list diverged")
+        if document.preorder_map != storage_preorder_map(document.tree):
+            raise StorageError("incremental preorder map diverged")
 
     def loaded_for_tree(self, tree: model.Document
                         ) -> Optional[LoadedDocument]:

@@ -25,9 +25,7 @@ from repro.algebra.plan import (
     Tau,
     execute_plan,
 )
-from repro.algebra.cost import CostModel
 from repro.physical.base import OperatorStats
-from repro.physical.planner import PhysicalPlanner
 
 __all__ = ["PhysicalExecutionContext", "run_plan"]
 
@@ -79,7 +77,9 @@ class PhysicalExecutionContext(ExecutionContext):
             raise ExecutionError(
                 f"document {getattr(tree, 'uri', '?')!r} has no storage "
                 "(loaded outside the database?)")
-        planner = PhysicalPlanner(CostModel(loaded.statistics))
+        # The planner carries the document's persistent strategy memo:
+        # repeated executions of a hot pattern skip the cost model.
+        planner = self.database.planner_for(loaded)
         outputs = plan.pattern.output_vertices()
         if len(outputs) == 1:
             matches, stats, used = planner.match(

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from repro.xml import model
 
-__all__ = ["storage_preorder_map", "storage_node_list"]
+__all__ = ["storage_preorder_map", "storage_node_list",
+           "apply_insert_mapping", "apply_delete_mapping"]
 
 
 def storage_preorder_map(document: model.Document) -> dict[int, int]:
@@ -32,6 +33,48 @@ def storage_node_list(document: model.Document) -> list[model.Node]:
     """``storage pre-order id -> model node`` (first of a merged text
     run)."""
     return [nodes[0] for nodes in _storage_groups(document)]
+
+
+def apply_insert_mapping(node_list: list, preorder_map: dict,
+                         subtree: model.Element, insert_pre: int,
+                         count: int) -> None:
+    """Apply a subtree insertion to the mapping structures in place.
+
+    The inserted ``subtree`` (already attached to the model tree) is
+    walked with the same grouping rules as a full rebuild; its groups
+    splice into ``node_list`` at ``insert_pre`` and every existing map
+    entry at or after the splice point shifts by ``count``.  The shift is
+    one light pass over the map — no tree walk, no re-shredding.
+    """
+    groups = list(_walk(subtree))
+    if len(groups) != count:
+        raise ValueError(
+            f"model subtree yields {len(groups)} storage nodes, "
+            f"stores spliced {count}")
+    for node_id in list(preorder_map):
+        if preorder_map[node_id] >= insert_pre:
+            preorder_map[node_id] += count
+    for offset, nodes in enumerate(groups):
+        for node in nodes:
+            preorder_map[node.node_id] = insert_pre + offset
+    node_list[insert_pre:insert_pre] = [nodes[0] for nodes in groups]
+
+
+def apply_delete_mapping(node_list: list, preorder_map: dict,
+                         delete_pre: int, count: int) -> None:
+    """Apply a subtree deletion to the mapping structures in place:
+    drop entries inside ``[delete_pre, delete_pre + count)`` and shift
+    the survivors after the gap down by ``count``."""
+    del node_list[delete_pre:delete_pre + count]
+    doomed = []
+    limit = delete_pre + count
+    for node_id, preorder in preorder_map.items():
+        if preorder >= limit:
+            preorder_map[node_id] = preorder - count
+        elif preorder >= delete_pre:
+            doomed.append(node_id)
+    for node_id in doomed:
+        del preorder_map[node_id]
 
 
 def _storage_groups(document: model.Document):

@@ -72,18 +72,28 @@ class MatchRuntime:
         self.numeric_index = numeric_index  # float(content) -> owner
         self.statistics = statistics        # DocumentStatistics or None
         if pages is not None:
-            structure = succinct.size_bytes()
-            self.structure_segment = pages.segment(
-                "succinct:structure",
-                structure["structure"] + structure["tags"]
-                + structure["kinds"])
-            # The navigational (commercial stand-in) strategy reads
-            # pointer-based DOM records, ~32 bytes per node.
-            self.dom_segment = pages.segment(
-                "dom:records", 32 * succinct.node_count)
+            self.structure_segment = pages.segment("succinct:structure")
+            self.dom_segment = pages.segment("dom:records")
+            self.refresh_segments()
         else:
             self.structure_segment = None
             self.dom_segment = None
+
+    def refresh_segments(self) -> None:
+        """Re-derive segment extents from the current store sizes.
+
+        Called after an in-place structural update so I/O charging keeps
+        tracking the stores without rebuilding the runtime.
+        """
+        if self.pages is None:
+            return
+        structure = self.succinct.size_bytes()
+        self.structure_segment.length = (
+            structure["structure"] + structure["tags"]
+            + structure["kinds"])
+        # The navigational (commercial stand-in) strategy reads
+        # pointer-based DOM records, ~32 bytes per node.
+        self.dom_segment.length = 32 * self.succinct.node_count
 
     # -- vertex predicate evaluation -------------------------------------------
 

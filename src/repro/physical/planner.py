@@ -40,13 +40,46 @@ STRATEGIES = ("nok", "partitioned", "structural-join", "pathstack",
 
 
 class PhysicalPlanner:
-    """Chooses and runs a physical strategy for pattern matching."""
+    """Chooses and runs a physical strategy for pattern matching.
 
-    def __init__(self, cost_model: Optional[CostModel] = None):
+    ``choice_memo`` (optional) memoizes ``auto``-mode strategy choices
+    across calls: keys are ``(pattern signature, statistics
+    generation)``, so a choice is reused for the repeated executions of
+    a hot query but naturally expires whenever an update changes the
+    document statistics.  The dict is owned by the caller (the engine
+    keeps one per loaded document) and survives planner instances.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 choice_memo: Optional[dict] = None):
         self.cost_model = cost_model
+        self.choice_memo = choice_memo
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def _memo_key(self, pattern: PatternGraph) -> Optional[tuple]:
+        if self.choice_memo is None:
+            return None
+        generation = 0
+        if self.cost_model is not None:
+            generation = getattr(self.cost_model.stats, "generation", 0)
+        return (pattern.signature(), generation)
 
     def choose(self, pattern: PatternGraph) -> str:
         """The strategy ``auto`` resolves to for this pattern."""
+        memo_key = self._memo_key(pattern)
+        if memo_key is not None:
+            cached = self.choice_memo.get(memo_key)
+            if cached is not None:
+                self.memo_hits += 1
+                return cached
+            self.memo_misses += 1
+        choice = self._choose_uncached(pattern)
+        if memo_key is not None:
+            self.choice_memo[memo_key] = choice
+        return choice
+
+    def _choose_uncached(self, pattern: PatternGraph) -> str:
         if self.cost_model is None:
             return "nok" if pattern.is_nok() else "partitioned"
         choice = self.cost_model.cheapest_strategy(pattern)
@@ -66,7 +99,8 @@ class PhysicalPlanner:
         """
         if strategy not in STRATEGIES:
             raise PlanError(f"unknown strategy {strategy!r}")
-        if strategy == "auto":
+        was_auto = strategy == "auto"
+        if was_auto:
             strategy = self.choose(pattern)
         try:
             return self._dispatch(pattern, runtime, root, strategy)
@@ -76,7 +110,14 @@ class PhysicalPlanner:
             # The costed choice could not express the pattern
             # (multi-output, branching for pathstack, ...): fall back.
             fallback = "nok" if pattern.is_nok() else "partitioned"
-            return self._dispatch(pattern, runtime, root, fallback)
+            result = self._dispatch(pattern, runtime, root, fallback)
+            if was_auto:
+                # Remember the *working* strategy so repeated executions
+                # of this pattern skip the doomed attempt entirely.
+                memo_key = self._memo_key(pattern)
+                if memo_key is not None:
+                    self.choice_memo[memo_key] = fallback
+            return result
 
     def match_bindings(self, pattern: PatternGraph, runtime: MatchRuntime,
                        root: int = 0) -> tuple[list[dict], OperatorStats]:

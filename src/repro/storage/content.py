@@ -23,7 +23,7 @@ __all__ = ["ContentStore"]
 class ContentStore:
     """Append-only heap of content strings, addressed by content id."""
 
-    __slots__ = ("_buffer", "_offsets", "_owners")
+    __slots__ = ("_buffer", "_offsets", "_owners", "_dead")
 
     def __init__(self):
         self._buffer: list[str] = []
@@ -31,6 +31,7 @@ class ContentStore:
         # a final sentinel holds the total length.
         self._offsets: list[int] = [0]
         self._owners: list[int] = []
+        self._dead = 0
 
     def append(self, value: str, owner: int) -> int:
         """Store ``value`` for the node with pre-order id ``owner``;
@@ -52,6 +53,33 @@ class ContentStore:
         """Re-point an entry at a new owner (updates renumber nodes)."""
         self._owners[content_id] = owner
 
+    def mark_dead(self, content_id: int) -> None:
+        """Tombstone an entry (owner = -1): its node was deleted.
+
+        The heap is append-only, so the bytes stay put; readers that
+        resolve owners (value indexes, :meth:`find_exact`,
+        :meth:`sorted_entries`) skip tombstones.  Compaction happens when
+        a consumer rebuilds (``ContentIndex`` does this automatically
+        once tombstones outnumber live entries).
+        """
+        if self._owners[content_id] >= 0:
+            self._owners[content_id] = -1
+            self._dead += 1
+
+    def is_dead(self, content_id: int) -> bool:
+        """True when the entry was tombstoned by a deletion."""
+        return self._owners[content_id] < 0
+
+    @property
+    def dead_entries(self) -> int:
+        """Number of tombstoned entries currently in the heap."""
+        return self._dead
+
+    @property
+    def live_entries(self) -> int:
+        """Number of entries still owned by a node."""
+        return len(self._owners) - self._dead
+
     def __len__(self) -> int:
         return len(self._owners)
 
@@ -65,16 +93,17 @@ class ContentStore:
         return self._offsets[content_id + 1] - self._offsets[content_id]
 
     def find_exact(self, value: str) -> list[int]:
-        """Owner pre-order ids of entries equal to ``value`` (linear scan;
-        the indexed path goes through the B+ tree built by the engine)."""
+        """Owner pre-order ids of live entries equal to ``value`` (linear
+        scan; the indexed path goes through the value indexes)."""
         return [self._owners[i] for i, stored in enumerate(self._buffer)
-                if stored == value]
+                if stored == value and self._owners[i] >= 0]
 
     def sorted_entries(self) -> list[tuple[str, int]]:
-        """``(value, owner)`` pairs sorted by value — bulk-load input for
-        the content B+ tree."""
+        """``(value, owner)`` pairs of live entries sorted by value —
+        bulk-load input for a content B+ tree."""
         pairs = [(value, self._owners[i])
-                 for i, value in enumerate(self._buffer)]
+                 for i, value in enumerate(self._buffer)
+                 if self._owners[i] >= 0]
         pairs.sort()
         return pairs
 

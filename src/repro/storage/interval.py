@@ -269,7 +269,8 @@ class IntervalDocument:
             else:
                 record.parent += insert_pre
         self.nodes[insert_pre:insert_pre] = new_records
-        return {"relabelled": relabelled, "inserted_nodes": inserted}
+        return {"relabelled": relabelled, "inserted_nodes": inserted,
+                "inserted_at": insert_pre}
 
     def delete_subtree(self, pre: int) -> dict[str, int]:
         """Remove the subtree at ``pre`` and relabel everything after it

@@ -11,7 +11,23 @@ Collected in one pass over an :class:`IntervalDocument`:
 * per (parent tag, child tag) edge counts — a first-order Markov model of
   the schema, enough to estimate child-step selectivities,
 * per (ancestor tag, descendant tag) pair counts for ``//`` steps,
-* depth histogram and value statistics (distinct values per tag).
+* depth histogram and value statistics (value multiplicities per tag),
+* the set of tags whose elements hold fragmented (multi-run) text.
+
+Incremental maintenance
+-----------------------
+
+Structural updates call :meth:`apply_insert` / :meth:`apply_delete` with
+the affected contiguous pre-order block; every counter is adjusted by a
+local delta (O(subtree · depth)) instead of a full rebuild.  Value
+multiplicities are true multisets (Counters), so deleting the last node
+holding a value correctly drops it from the distinct count.  Two fields
+need a look at the whole document and are refreshed by
+:meth:`finalize_update` with one cheap linear pass: ``max_depth``
+(re-derived from the exact depth histogram) and
+``fragmented_value_tags`` (a prefix-sum pass over text nodes — a stale
+*missing* entry would make index-scan silently lossy, so this stays
+exact).
 """
 
 from __future__ import annotations
@@ -19,14 +35,15 @@ from __future__ import annotations
 from collections import Counter
 from typing import Optional
 
-from repro.storage.interval import IntervalDocument
+from repro.storage.interval import IntervalDocument, IntervalNode
 from repro.storage.succinct import KIND_ATTRIBUTE, KIND_ELEMENT, KIND_TEXT
 
 __all__ = ["DocumentStatistics"]
 
 
 class DocumentStatistics:
-    """One-pass statistics over a shredded document."""
+    """One-pass statistics over a shredded document, maintainable by
+    local deltas under structural updates."""
 
     def __init__(self, document: IntervalDocument):
         self.node_count = len(document.nodes)
@@ -34,46 +51,123 @@ class DocumentStatistics:
         self.edge_counts: Counter[tuple[str, str]] = Counter()
         self.descendant_counts: Counter[tuple[str, str]] = Counter()
         self.depth_histogram: Counter[int] = Counter()
-        self.distinct_values: dict[str, set[str]] = {}
+        # tag -> Counter of values (multiset; len() == distinct count).
+        self.distinct_values: dict[str, Counter[str]] = {}
         self.max_depth = 0
         # Tags of elements whose subtree holds >= 2 text runs: their
         # string value is fragmented across content-store entries, so a
         # content-index equality probe cannot find them (index-scan must
         # not be chosen for such tags).
         self.fragmented_value_tags: set[str] = set()
+        self._accumulate(document.nodes, ancestor_tags=[],
+                         ancestor_ends=[], sign=+1)
+        self._refresh_fragmentation(document)
+        self.generation = 0
 
-        ancestors: list[str] = []       # tag stack in pre-order
-        ancestor_ends: list[int] = []
-        for record in document.nodes:
-            while ancestor_ends and ancestor_ends[-1] < record.pre:
+    # -- delta core ---------------------------------------------------------------
+
+    def _accumulate(self, records: list[IntervalNode],
+                    ancestor_tags: list[str],
+                    ancestor_ends: list[int], sign: int) -> None:
+        """Add (``sign=+1``) or retract (``-1``) the contributions of a
+        contiguous pre-order block.  ``ancestor_tags``/``ancestor_ends``
+        seed the ancestor stack with the block's *exterior* ancestors
+        (empty for a whole document)."""
+        ancestors = list(ancestor_tags)
+        ends = list(ancestor_ends)
+        for record in records:
+            while ends and ends[-1] < record.pre:
                 ancestors.pop()
-                ancestor_ends.pop()
-            self.tag_counts[record.tag] += 1
-            self.depth_histogram[record.level] += 1
-            self.max_depth = max(self.max_depth, record.level)
+                ends.pop()
+            self.tag_counts[record.tag] += sign
+            self.depth_histogram[record.level] += sign
+            if sign > 0:
+                self.max_depth = max(self.max_depth, record.level)
             if ancestors:
-                self.edge_counts[(ancestors[-1], record.tag)] += 1
+                self.edge_counts[(ancestors[-1], record.tag)] += sign
                 for ancestor_tag in set(ancestors):
-                    self.descendant_counts[(ancestor_tag, record.tag)] += 1
+                    self.descendant_counts[
+                        (ancestor_tag, record.tag)] += sign
             if record.kind in (KIND_TEXT, KIND_ATTRIBUTE) and record.value:
                 owner_tag = ancestors[-1] if ancestors else record.tag
-                key = record.tag if record.kind == KIND_ATTRIBUTE else owner_tag
-                self.distinct_values.setdefault(key, set()).add(record.value)
+                key = record.tag if record.kind == KIND_ATTRIBUTE \
+                    else owner_tag
+                values = self.distinct_values.setdefault(key, Counter())
+                values[record.value] += sign
+                if sign < 0 and values[record.value] <= 0:
+                    del values[record.value]
+                    if not values:
+                        del self.distinct_values[key]
             ancestors.append(record.tag)
-            ancestor_ends.append(record.end)
+            ends.append(record.end)
+        if sign < 0:
+            self._drop_zeros()
 
-        # Prefix sums over text nodes expose per-element text-run counts
-        # in O(n): fragmented iff an element subtree holds >= 2 runs.
+    def _drop_zeros(self) -> None:
+        for counter in (self.tag_counts, self.edge_counts,
+                        self.descendant_counts, self.depth_histogram):
+            for key in [k for k, count in counter.items() if count <= 0]:
+                del counter[key]
+
+    def _exterior_chain(self, document: IntervalDocument,
+                        parent_pre: int) -> tuple[list[str], list[int]]:
+        """Tags and subtree ends of the root-to-``parent_pre`` chain."""
+        tags: list[str] = []
+        ends: list[int] = []
+        pre = parent_pre
+        while pre >= 0:
+            record = document.node(pre)
+            tags.append(record.tag)
+            ends.append(record.end)
+            pre = record.parent
+        tags.reverse()
+        ends.reverse()
+        return tags, ends
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def apply_insert(self, document: IntervalDocument,
+                     insert_pre: int, count: int) -> None:
+        """Account for ``count`` records just spliced in at
+        ``insert_pre`` (call after the interval store relabelled)."""
+        records = document.nodes[insert_pre:insert_pre + count]
+        parent = records[0].parent
+        tags, ends = self._exterior_chain(document, parent)
+        self._accumulate(records, tags, ends, sign=+1)
+        self.node_count += count
+        self.generation += 1
+
+    def apply_delete(self, document: IntervalDocument, pre: int) -> None:
+        """Retract the subtree rooted at ``pre`` (call *before* the
+        interval store splices it out, while labels are consistent)."""
+        record = document.node(pre)
+        records = document.nodes[pre:record.end + 1]
+        tags, ends = self._exterior_chain(document, record.parent)
+        self._accumulate(records, tags, ends, sign=-1)
+        self.node_count -= len(records)
+        self.generation += 1
+
+    def finalize_update(self, document: IntervalDocument) -> None:
+        """Refresh the whole-document summaries after the stores settled:
+        exact ``max_depth`` from the histogram and the exact fragmented
+        tag set (one linear pass — correctness of index-scan depends on
+        this never under-approximating)."""
+        self.max_depth = max(self.depth_histogram, default=0)
+        self._refresh_fragmentation(document)
+
+    def _refresh_fragmentation(self, document: IntervalDocument) -> None:
         texts_before = [0] * (len(document.nodes) + 1)
         for index, record in enumerate(document.nodes):
             texts_before[index + 1] = texts_before[index] + (
                 1 if record.kind == KIND_TEXT else 0)
+        fragmented: set[str] = set()
         for record in document.nodes:
             if record.kind != KIND_ELEMENT:
                 continue
             runs = texts_before[record.end + 1] - texts_before[record.pre]
             if runs >= 2:
-                self.fragmented_value_tags.add(record.tag)
+                fragmented.add(record.tag)
+        self.fragmented_value_tags = fragmented
 
     # -- estimators -------------------------------------------------------------
 
@@ -122,4 +216,18 @@ class DocumentStatistics:
             "distinct_tags": len(self.tag_counts),
             "max_depth": self.max_depth,
             "average_fanout": round(self.average_fanout(), 3),
+        }
+
+    def comparable_state(self) -> dict[str, object]:
+        """Every exactly-maintained field, for the debug cross-check."""
+        return {
+            "node_count": self.node_count,
+            "tag_counts": dict(self.tag_counts),
+            "edge_counts": dict(self.edge_counts),
+            "descendant_counts": dict(self.descendant_counts),
+            "depth_histogram": dict(self.depth_histogram),
+            "distinct_values": {tag: dict(values) for tag, values
+                                in self.distinct_values.items()},
+            "max_depth": self.max_depth,
+            "fragmented_value_tags": set(self.fragmented_value_tags),
         }

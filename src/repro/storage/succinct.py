@@ -348,6 +348,16 @@ class SuccinctDocument:
             if symbol is None or self._tags[preorder] == symbol:
                 yield preorder
 
+    def content_ids_in(self, preorder: int, count: int) -> list[int]:
+        """Content ids owned by nodes in ``[preorder, preorder+count)``.
+
+        Incremental value-index maintenance collects these *before* a
+        subtree deletion tombstones them.
+        """
+        return [content_id
+                for owner, content_id in self._content_of.items()
+                if preorder <= owner < preorder + count]
+
     def tag_postings(self) -> dict[str, list[int]]:
         """tag -> sorted pre-order ids, for building a
         :class:`~repro.storage.tagindex.TagIndex`."""
@@ -420,15 +430,16 @@ class SuccinctDocument:
         self._tags[insert_at:insert_at] = new_tags
         self._kinds[insert_at:insert_at] = bytes(new_kinds)
 
-        # Splice the BP bits.
+        # Splice the BP bits (word-wise iteration — BitVector.__iter__
+        # shifts within cached words instead of per-bit __getitem__).
+        from itertools import islice
+
         old_bits = self.bp.bits
         bits_builder = BitVectorBuilder()
-        for index in range(anchor_position):
-            bits_builder.append(old_bits[index])
-        for bit in new_bits:
-            bits_builder.append(bit)
-        for index in range(anchor_position, len(old_bits)):
-            bits_builder.append(old_bits[index])
+        source = iter(old_bits)
+        bits_builder.extend(islice(source, anchor_position))
+        bits_builder.extend(new_bits)
+        bits_builder.extend(source)
         self._bp = BalancedParens(bits_builder.build())
 
         # Renumber content ownership at or after the insertion point —
@@ -447,7 +458,12 @@ class SuccinctDocument:
         return {
             "shifted_entries": len(self._tags) - insert_at - inserted,
             "inserted_nodes": inserted,
+            "inserted_at": insert_at,
             "bp_bits_moved": len(old_bits) - anchor_position,
+            # The heap is append-only, so the new entries are exactly the
+            # last ``content_appended`` content ids — incremental value
+            # indexes pick them up from the tail.
+            "content_appended": len(new_content),
         }
 
     def delete_subtree(self, preorder: int) -> dict[str, int]:
@@ -467,20 +483,27 @@ class SuccinctDocument:
         del self._tags[preorder:preorder + removed]
         del self._kinds[preorder:preorder + removed]
 
+        from itertools import islice
+
         bits_builder = BitVectorBuilder()
-        for index in range(open_position):
-            bits_builder.append(old_bits[index])
-        for index in range(close_position + 1, len(old_bits)):
-            bits_builder.append(old_bits[index])
+        source = iter(old_bits)
+        bits_builder.extend(islice(source, open_position))
+        for _ in islice(source, close_position - open_position + 1):
+            pass  # drop the deleted subtree's parenthesis range
+        bits_builder.extend(source)
         self._bp = BalancedParens(bits_builder.build())
 
         # Content entries of deleted nodes are dropped from the mapping
-        # (the heap keeps their bytes — an append-only heap compacts on
-        # rebuild, like a real slotted store would vacuum); survivors
-        # renumber.
+        # and *tombstoned* in the heap (owner = -1), so value indexes that
+        # reference stable content ids can skip them lazily; survivors
+        # renumber.  (An append-only heap compacts on rebuild, like a real
+        # slotted store would vacuum.)
         shifted: dict[int, int] = {}
+        dropped = 0
         for owner, content_id in self._content_of.items():
             if preorder <= owner < preorder + removed:
+                self._content.mark_dead(content_id)
+                dropped += 1
                 continue
             new_owner = owner - removed if owner >= preorder + removed \
                 else owner
@@ -491,6 +514,7 @@ class SuccinctDocument:
             "removed_nodes": removed,
             "shifted_entries": len(self._tags) - preorder,
             "bp_bits_moved": len(old_bits) - close_position - 1,
+            "content_dropped": dropped,
         }
 
     # -- accounting --------------------------------------------------------------

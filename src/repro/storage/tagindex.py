@@ -57,6 +57,77 @@ class TagIndex:
             self._pages.sequential_scan(self._segments[tag])
         return postings
 
+    # -- incremental maintenance --------------------------------------------------
+
+    def apply_insert(self, records: list[IntervalNode]) -> int:
+        """Splice freshly inserted records into the posting lists.
+
+        ``records`` must be the already-relabelled records of one inserted
+        subtree (a contiguous pre-order block).  Surviving postings hold
+        *references* to the interval records, so the interval store's
+        relabelling has already updated them in place; only the new block
+        needs inserting.  Per touched tag this is one binary search plus
+        one list splice.  Returns the number of postings added.
+        """
+        by_tag: dict[str, list[IntervalNode]] = {}
+        for record in records:
+            by_tag.setdefault(record.tag, []).append(record)
+        for tag, group in by_tag.items():
+            postings = self._postings.setdefault(tag, [])
+            position = self._bisect_pre(postings, group[0].pre)
+            postings[position:position] = group
+            if self._pages is not None:
+                segment = self._pages.segment(
+                    f"tagindex:{tag}", _POSTING_BYTES * len(postings))
+                segment.length = _POSTING_BYTES * len(postings)
+                self._segments[tag] = segment
+        return len(records)
+
+    def apply_delete(self, records: list[IntervalNode]) -> int:
+        """Drop the postings of a subtree about to be deleted.
+
+        Must run *before* the interval store relabels survivors, while
+        every ``pre`` is still consistent.  ``records`` is the contiguous
+        pre-order block being removed.  Returns the postings dropped.
+        """
+        by_tag: dict[str, list[IntervalNode]] = {}
+        for record in records:
+            by_tag.setdefault(record.tag, []).append(record)
+        for tag, group in by_tag.items():
+            postings = self._postings.get(tag, [])
+            position = self._bisect_pre(postings, group[0].pre)
+            # The doomed records occupy a contiguous slice: all their pre
+            # ids lie inside the subtree interval and posting lists are
+            # pre-ordered.
+            count = len(group)
+            if postings[position:position + count] != group:
+                raise ValueError(
+                    f"tag index postings for {tag!r} out of sync")
+            del postings[position:position + count]
+            if not postings:
+                del self._postings[tag]
+                self._segments.pop(tag, None)
+            elif tag in self._segments:
+                self._segments[tag].length = _POSTING_BYTES * len(postings)
+        return len(records)
+
+    @staticmethod
+    def _bisect_pre(postings: list[IntervalNode], pre: int) -> int:
+        """First index whose posting has ``pre`` >= the given id."""
+        low, high = 0, len(postings)
+        while low < high:
+            mid = (low + high) // 2
+            if postings[mid].pre < pre:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def postings_snapshot(self) -> dict[str, list[int]]:
+        """``tag -> [pre, ...]`` for the debug cross-check."""
+        return {tag: [record.pre for record in postings]
+                for tag, postings in self._postings.items()}
+
     def size_bytes(self) -> int:
         """Bytes charged: one 12-byte posting per node plus the tag
         dictionary."""
