@@ -33,10 +33,17 @@ Strategy memo (wired in :class:`repro.physical.planner.PhysicalPlanner`)
 Every cache exposes hit/miss/eviction counters; the database aggregates
 them in :meth:`Database.cache_report` and per-query in
 ``QueryResult.stats["cache"]``.
+
+All three caches are **thread-safe**: every :class:`LRUCache` operation
+holds an internal RLock, and the result cache's compound
+stamp-check-then-promote runs under that same lock, so the serving
+layer's concurrent readers (see :mod:`repro.engine.concurrency`) can
+share them without external synchronization.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Optional
 
@@ -44,16 +51,63 @@ __all__ = ["CacheStats", "LRUCache", "PlanCache", "ResultCache",
            "PreparedQuery", "normalize_query"]
 
 
-def normalize_query(text: str) -> str:
-    """The cache key for a query text: whitespace-collapsed.
+def _scan_string_literal(text: str, start: int) -> int:
+    """The index one past the string literal opening at ``start``.
 
-    This is deliberately conservative — only runs of whitespace are
-    folded, so two texts normalize equal only when they tokenize
-    identically.  (Whitespace inside string literals can matter, so the
-    plan cache keys on the *normalized* text but compiles the *original*
-    text; see :meth:`PlanCache.get_or_compile`.)
+    Follows the lexer's rules: single- or double-quoted, with a doubled
+    quote as the escape (``"a""b"`` is one literal).  An unterminated
+    literal swallows the rest of the text (the lexer will reject the
+    query anyway; the key just has to be deterministic).
     """
-    return " ".join(text.split())
+    quote = text[start]
+    position = start + 1
+    length = len(text)
+    while position < length:
+        if text[position] == quote:
+            if position + 1 < length and text[position + 1] == quote:
+                position += 2  # doubled-quote escape, still inside
+                continue
+            return position + 1
+        position += 1
+    return length
+
+
+def normalize_query(text: str) -> str:
+    """The cache key for a query text: whitespace-collapsed *outside*
+    string literals.
+
+    Only runs of whitespace between tokens are folded (to one space,
+    with the ends stripped), so two texts normalize equal only when
+    they tokenize identically.  Whitespace **inside** ``"…"``/``'…'``
+    literals is significant — ``//book[title="a  b"]`` and
+    ``//book[title="a b"]`` are different queries and must not collide
+    on one plan-cache/result-cache key — so literal bodies are copied
+    through verbatim (doubled-quote escapes included).
+    """
+    parts: list[str] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        character = text[position]
+        if character in ("'", '"'):
+            end = _scan_string_literal(text, position)
+            parts.append(text[position:end])
+            position = end
+        elif character.isspace():
+            end = position
+            while end < length and text[end].isspace():
+                end += 1
+            if parts and end < length:
+                parts.append(" ")  # neither leading nor trailing
+            position = end
+        else:
+            end = position
+            while end < length and not text[end].isspace() \
+                    and text[end] not in ("'", '"'):
+                end += 1
+            parts.append(text[position:end])
+            position = end
+    return "".join(parts)
 
 
 class CacheStats:
@@ -77,64 +131,79 @@ class CacheStats:
 
 
 class LRUCache:
-    """A size-bounded LRU map with shared-counter accounting.
+    """A size-bounded, **thread-safe** LRU map with counter accounting.
 
     ``capacity <= 0`` disables the cache entirely (every lookup is a
     recorded miss, nothing is stored) — that is the documented way to
     switch a cache off.
+
+    Every operation holds ``self.lock`` (an :class:`threading.RLock`),
+    so entries, LRU order, and the hit/miss/eviction counters stay
+    mutually consistent under concurrent readers.  Compound operations
+    that need several steps to be atomic (e.g. the result cache's
+    stamp-check-then-promote) take the same lock around the sequence —
+    the RLock makes the nested method calls free.
     """
 
     def __init__(self, capacity: int, stats: Optional[CacheStats] = None):
         self.capacity = capacity
         self.stats = stats if stats is not None else CacheStats()
+        self.lock = threading.RLock()
         self._entries: OrderedDict[Any, Any] = OrderedDict()
 
     def get(self, key: Any) -> Any:
         """The cached value, or ``None`` on a miss (counted)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def peek(self, key: Any) -> Any:
         """Like :meth:`get` but without touching LRU order or counters."""
-        return self._entries.get(key)
+        with self.lock:
+            return self._entries.get(key)
 
     def put(self, key: Any, value: Any) -> None:
         """Store ``value``, evicting the LRU entry beyond capacity."""
         if self.capacity <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self.lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self, key: Any) -> None:
         """Drop one entry (counted as an invalidation if present)."""
-        if self._entries.pop(key, None) is not None:
-            self.stats.invalidations += 1
+        with self.lock:
+            if self._entries.pop(key, None) is not None:
+                self.stats.invalidations += 1
 
     def clear(self) -> int:
         """Drop everything; returns the number of entries dropped."""
-        dropped = len(self._entries)
-        self.stats.invalidations += dropped
-        self._entries.clear()
-        return dropped
+        with self.lock:
+            dropped = len(self._entries)
+            self.stats.invalidations += dropped
+            self._entries.clear()
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.lock:
+            return len(self._entries)
 
     def report(self) -> dict[str, int]:
         """Counters plus occupancy, for :meth:`Database.cache_report`."""
-        report = self.stats.snapshot()
-        report["entries"] = len(self._entries)
-        report["capacity"] = self.capacity
-        return report
+        with self.lock:
+            report = self.stats.snapshot()
+            report["entries"] = len(self._entries)
+            report["capacity"] = self.capacity
+            return report
 
 
 class PlanCache:
@@ -145,7 +214,13 @@ class PlanCache:
 
     def get_or_compile(self, text: str,
                        compiler: Callable[[str], Any]) -> tuple[Any, bool]:
-        """``(plan, was_hit)`` — compiles (and stores) on a miss."""
+        """``(plan, was_hit)`` — compiles (and stores) on a miss.
+
+        Compilation runs *outside* the cache lock: holding it would
+        serialize every concurrent compile behind the slowest one.  Two
+        threads racing on the same cold key may both compile; plans are
+        pure values, so the last ``put`` winning is harmless.
+        """
         key = normalize_query(text)
         plan = self._lru.get(key)
         if plan is not None:
@@ -181,19 +256,28 @@ class ResultCache:
         return (normalize_query(text), strategy, uri)
 
     def lookup(self, key: tuple, stamp: tuple) -> Optional[tuple]:
-        """``(items, strategy)`` on a fresh hit, else ``None``."""
-        entry = self._lru.peek(key)
-        if entry is None:
-            self._lru.stats.misses += 1
-            return None
-        cached_stamp, items, strategy = entry
-        if cached_stamp != stamp:
-            self._lru.invalidate(key)
-            self._lru.stats.misses += 1
-            return None
-        # Re-record as a genuine hit (peek skipped the counters).
-        self._lru.get(key)
-        return items, strategy
+        """``(items, strategy)`` on a fresh hit, else ``None``.
+
+        The returned ``items`` list is a **copy**: ``store`` copies on
+        the way in, so returning the cached list by reference would let
+        one caller's ``result.items`` mutation corrupt every later hit.
+        The stamp-check / invalidate / LRU-promote sequence holds the
+        cache lock so a concurrent ``store`` or ``clear`` cannot
+        interleave between the peek and the promote.
+        """
+        with self._lru.lock:
+            entry = self._lru.peek(key)
+            if entry is None:
+                self._lru.stats.misses += 1
+                return None
+            cached_stamp, items, strategy = entry
+            if cached_stamp != stamp:
+                self._lru.invalidate(key)
+                self._lru.stats.misses += 1
+                return None
+            # Re-record as a genuine hit (peek skipped the counters).
+            self._lru.get(key)
+            return list(items), strategy
 
     def store(self, key: tuple, stamp: tuple, items: list,
               strategy: Optional[str]) -> None:

@@ -1,0 +1,206 @@
+"""Concurrency primitives for the serving layer.
+
+The ROADMAP's workload is read-mostly: many pattern queries served
+against a document store that changes comparatively rarely (the
+XML-tree-pattern survey's setting, and RadegastXDB's concurrent request
+loop in PAPERS.md).  The matching primitive is a **reader-writer lock**:
+
+* ``query`` / ``PreparedQuery.run`` acquire the *read* side — any number
+  of them execute concurrently against an immutable snapshot of the
+  storage structures;
+* ``load`` / ``insert`` / ``delete`` / ``rebuild_derived`` acquire the
+  *write* side — exactly one of them runs, with no readers in flight, so
+  the mid-splice states of the succinct store, interval store, tag
+  index, and value indexes are never observable.
+
+:class:`RWLock` is **writer-preferring**: once a writer is waiting, new
+first-entry readers queue behind it, so a continuous stream of cheap
+queries cannot starve an update.  Both sides are reentrant within one
+thread, and a writer may enter read sections it already covers (the
+update paths resolve their targets through ``query``); upgrading a read
+lock to a write lock is refused because it deadlocks two upgraders.
+
+The module is dependency-free (``threading`` only) so every layer —
+engine, storage, physical — can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A writer-preferring, reentrant reader-writer lock.
+
+    Invariants:
+
+    * any number of threads may hold the read side concurrently;
+    * at most one thread holds the write side, and never while any other
+      thread holds the read side;
+    * a thread holding the write side may freely enter read sections
+      (they are treated as nested sections of the exclusive region);
+    * a thread already in a read section may re-enter read sections, and
+      bypasses writer preference while doing so (blocking a re-entrant
+      read behind a waiting writer would deadlock: the writer waits for
+      the reader's outermost release);
+    * a thread in a read section that asks for the write side gets a
+      ``RuntimeError`` — lock upgrades deadlock as soon as two threads
+      attempt them, so they are refused outright.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context managers;
+    the raw ``acquire_*``/``release_*`` pairs exist for tests and for
+    callers that need ``timeout`` (which makes ``acquire_*`` return
+    ``False`` instead of blocking forever).
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._active_readers = 0       # threads in a read section
+        self._waiting_writers = 0      # threads blocked in acquire_write
+        self._writer_ident = None      # ident of the active writer
+        self._writer_depth = 0         # writer reentrancy depth
+        self._local = threading.local()  # per-thread read depth
+
+    # -- per-thread bookkeeping ------------------------------------------------
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "read_depth", 0)
+
+    def _set_read_depth(self, depth: int) -> None:
+        self._local.read_depth = depth
+
+    # -- read side -------------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Enter a read section; returns ``False`` only on timeout."""
+        depth = self._read_depth()
+        if depth > 0:
+            # Re-entrant read: no blocking (a waiting writer waits for
+            # our outermost release, so queueing here would deadlock).
+            self._set_read_depth(depth + 1)
+            return True
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer_ident == me:
+                # A read section nested in our own exclusive section:
+                # free pass, not counted as a shared reader.
+                self._local.counted = False
+                self._set_read_depth(1)
+                return True
+            # First-level entry: writer preference applies.
+            while self._writer_ident is not None \
+                    or self._waiting_writers > 0:
+                if not self._cond.wait(timeout):
+                    return False
+            self._active_readers += 1
+            self._local.counted = True
+            self._set_read_depth(1)
+            return True
+
+    def release_read(self) -> None:
+        """Leave the innermost read section."""
+        depth = self._read_depth()
+        if depth <= 0:
+            raise RuntimeError("release_read without acquire_read")
+        self._set_read_depth(depth - 1)
+        if depth > 1:
+            return
+        if not getattr(self._local, "counted", False):
+            return  # the free pass inside our own write section
+        self._local.counted = False
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Enter the exclusive section; returns ``False`` on timeout."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer_ident == me:
+                self._writer_depth += 1
+                return True
+            if self._read_depth() > 0:
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock "
+                    "(two upgraders deadlock); release the read side "
+                    "first")
+            self._waiting_writers += 1
+            try:
+                while self._active_readers > 0 \
+                        or self._writer_ident is not None:
+                    if not self._cond.wait(timeout):
+                        return False
+            finally:
+                self._waiting_writers -= 1
+            self._writer_ident = me
+            self._writer_depth = 1
+            return True
+
+    def release_write(self) -> None:
+        """Leave the innermost write section."""
+        with self._cond:
+            if self._writer_ident != threading.get_ident():
+                raise RuntimeError("release_write by a non-owner thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer_ident = None
+                self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked(): ...`` — a shared read section."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked(): ...`` — the exclusive section."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection (tests / monitoring) ---------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        """Number of threads currently in a read section."""
+        with self._cond:
+            return self._active_readers
+
+    @property
+    def waiting_writers(self) -> int:
+        """Number of threads blocked waiting for the write side."""
+        with self._cond:
+            return self._waiting_writers
+
+    @property
+    def write_held(self) -> bool:
+        """Whether any thread currently holds the write side."""
+        with self._cond:
+            return self._writer_ident is not None
+
+    def held_by_me(self) -> str:
+        """``"write"``, ``"read"``, or ``""`` for the calling thread."""
+        if self._writer_ident == threading.get_ident():
+            return "write"
+        if self._read_depth() > 0:
+            return "read"
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RWLock readers={self._active_readers} "
+                f"waiting_writers={self._waiting_writers} "
+                f"writer={'held' if self._writer_ident else 'free'}>")

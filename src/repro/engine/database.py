@@ -37,14 +37,28 @@ instead of rebuilding them from scratch.  ``rebuild_derived(force=True)``
 remains as an escape hatch, and ``debug_checks=True`` (or the
 ``REPRO_DEBUG_UPDATES`` environment variable) cross-checks the
 incremental state against a fresh rebuild after every update.
+
+Concurrency
+-----------
+
+The database is safe to share across threads.  Queries execute as
+*shared readers* under a writer-preferring reader-writer lock
+(:class:`repro.engine.concurrency.RWLock`); ``load``/``insert``/
+``delete``/``rebuild_derived`` take the exclusive writer side, so no
+query ever observes a half-applied splice.  The plan/result caches and
+the strategy memo are internally locked, per-query I/O is accounted on
+per-thread counters, and :meth:`Database.query_many` fans a batch of
+read-only queries across a thread pool.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from repro.errors import ExecutionError, StorageError
 from repro.xml import model
@@ -66,6 +80,7 @@ from repro.engine.cache import (
     PreparedQuery,
     ResultCache,
 )
+from repro.engine.concurrency import RWLock
 from repro.engine.executor import PhysicalExecutionContext, run_plan
 from repro.engine.mapping import (
     apply_delete_mapping,
@@ -100,6 +115,10 @@ class LoadedDocument:
     generation: int = 0
     # (pattern signature, statistics generation) -> chosen strategy.
     strategy_memo: dict = field(default_factory=dict)
+    # Guards strategy_memo: concurrent readers memoize choices for the
+    # same hot pattern (see PhysicalPlanner).
+    memo_lock: threading.Lock = field(default_factory=threading.Lock,
+                                      repr=False, compare=False)
 
     def node_for(self, preorder: int) -> model.Node:
         """The model node behind a storage pre-order id."""
@@ -146,6 +165,13 @@ class Database:
     cross-checks every incremental update against a fresh rebuild of the
     derived structures (slow; meant for tests — also enabled by setting
     the ``REPRO_DEBUG_UPDATES`` environment variable).
+
+    Thread safety: a writer-preferring reader-writer lock (``rwlock``)
+    serializes structural changes (``load``/``insert``/``delete``/
+    ``rebuild_derived``) against queries, which run concurrently as
+    shared readers; the caches and the page manager are internally
+    locked; per-query I/O is accounted per thread.  See
+    :mod:`repro.engine.concurrency` and :meth:`query_many`.
     """
 
     def __init__(self, page_size: int = 4096, pool_pages: int = 256,
@@ -160,6 +186,10 @@ class Database:
         self.debug_checks = (debug_checks
                              or bool(os.environ.get("REPRO_DEBUG_UPDATES")))
         self._load_epoch = 0
+        # Queries take the read side; load/insert/delete/rebuild take
+        # the write side.  Writer-preferring so a stream of cached reads
+        # cannot starve updates.
+        self.rwlock = RWLock()
 
     # -- loading ---------------------------------------------------------------
 
@@ -176,7 +206,12 @@ class Database:
 
     def load_tree(self, tree: model.Document,
                   uri: str = "doc.xml") -> LoadedDocument:
-        """Load an already-built model tree."""
+        """Load an already-built model tree (takes the write lock)."""
+        with self.rwlock.write_locked():
+            return self._load_tree_locked(tree, uri)
+
+    def _load_tree_locked(self, tree: model.Document,
+                          uri: str) -> LoadedDocument:
         succinct = SuccinctDocument.from_document(tree)
         interval = IntervalDocument.from_document(tree)
         tag_index = TagIndex(interval, pages=self.pages)
@@ -294,44 +329,82 @@ class Database:
                                   strategy=strategy, uri=uri,
                                   variables=variables)
 
+    def query_many(self,
+                   queries: Iterable[Union[str, PreparedQuery]],
+                   strategy: str = "auto", uri: Optional[str] = None,
+                   max_workers: int = 4) -> list[QueryResult]:
+        """Run a batch of read-only queries across a thread pool.
+
+        Each element of ``queries`` is a query text or a
+        :class:`~repro.engine.cache.PreparedQuery`; results come back
+        in input order.  Every query executes as a shared reader under
+        the database's reader-writer lock, so batches interleave safely
+        with concurrent ``insert``/``delete`` calls from other threads
+        (each query sees a consistent snapshot).  Per-query ``io``
+        accounting stays exact: counters are tracked per worker thread.
+
+        ``max_workers <= 1`` (or a single-element batch) degenerates to
+        serial execution on the calling thread.
+        """
+        entries = list(queries)
+
+        def one(entry: Union[str, PreparedQuery]) -> QueryResult:
+            if isinstance(entry, PreparedQuery):
+                return entry.run(strategy=strategy, uri=uri)
+            return self.query(entry, strategy=strategy, uri=uri)
+
+        if max_workers <= 1 or len(entries) <= 1:
+            return [one(entry) for entry in entries]
+        with ThreadPoolExecutor(max_workers=max_workers,
+                                thread_name_prefix="repro-query") as pool:
+            return list(pool.map(one, entries))
+
     def _run_compiled(self, text: str, plan, plan_hit: bool,
                       strategy: str, uri: Optional[str],
                       variables: Optional[dict]) -> QueryResult:
-        """Execute a compiled plan through the result cache."""
+        """Execute a compiled plan through the result cache.
+
+        Runs as a *shared reader*: any number of these execute
+        concurrently; structural updates exclude them via the write
+        side of ``rwlock``.
+        """
         if strategy not in STRATEGIES:
             raise ExecutionError(
                 f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
         started = time.perf_counter()
         cacheable = not variables
-        stamp = self._generation_stamp()
-        key = ResultCache.key(text, strategy, uri or self._default_uri)
-        if cacheable:
-            cached = self.result_cache.lookup(key, stamp)
-            if cached is not None:
-                items, used_strategy = cached
-                stats = {"nodes_visited": 0, "postings_scanned": 0,
-                         "intermediate_results": 0, "structural_joins": 0,
-                         "solutions": len(items)}
-                stats["cache"] = self._cache_info(
-                    plan="hit" if plan_hit else "miss", result="hit")
-                return QueryResult(
-                    items=list(items), strategy=used_strategy,
-                    elapsed_seconds=time.perf_counter() - started,
-                    stats=stats,
-                    io={k: 0 for k in
-                        self.pages.counters.snapshot()})
-        context = self._execution_context(uri, strategy,
-                                          variables=variables)
-        # Snapshot-and-diff the *shared* I/O counters: resetting them
-        # here (as the seed did) clobbered concurrent / interleaved
-        # queries' accounting.
-        io_before = self.pages.counters.snapshot()
-        items = run_plan(plan, context)
-        elapsed = time.perf_counter() - started
-        io_after = self.pages.counters.snapshot()
-        if cacheable:
-            self.result_cache.store(key, stamp, items,
-                                    context.last_strategy)
+        with self.rwlock.read_locked():
+            stamp = self._generation_stamp()
+            key = ResultCache.key(text, strategy,
+                                  uri or self._default_uri)
+            if cacheable:
+                cached = self.result_cache.lookup(key, stamp)
+                if cached is not None:
+                    items, used_strategy = cached
+                    stats = {"nodes_visited": 0, "postings_scanned": 0,
+                             "intermediate_results": 0,
+                             "structural_joins": 0,
+                             "solutions": len(items)}
+                    stats["cache"] = self._cache_info(
+                        plan="hit" if plan_hit else "miss", result="hit")
+                    return QueryResult(
+                        items=items, strategy=used_strategy,
+                        elapsed_seconds=time.perf_counter() - started,
+                        stats=stats,
+                        io={k: 0 for k in
+                            self.pages.thread_snapshot()})
+            context = self._execution_context(uri, strategy,
+                                              variables=variables)
+            # Snapshot-and-diff the calling thread's *own* I/O counters
+            # (the seed diffed — and before that reset — the shared
+            # ones, which races under concurrent queries).
+            io_before = self.pages.thread_snapshot()
+            items = run_plan(plan, context)
+            elapsed = time.perf_counter() - started
+            io_after = self.pages.thread_snapshot()
+            if cacheable:
+                self.result_cache.store(key, stamp, items,
+                                        context.last_strategy)
         stats = context.accumulated_stats.snapshot()
         stats["cache"] = self._cache_info(
             plan="hit" if plan_hit else "miss",
@@ -357,23 +430,26 @@ class Database:
 
     def cache_report(self) -> dict:
         """Counters and occupancy of every serving-layer cache."""
-        return {
-            "plan_cache": self.plan_cache.report(),
-            "result_cache": self.result_cache.report(),
-            "strategy_memo": {
-                uri: len(document.strategy_memo)
-                for uri, document in self.documents.items()},
-            "generations": {
-                uri: document.generation
-                for uri, document in self.documents.items()},
-        }
+        with self.rwlock.read_locked():
+            return {
+                "plan_cache": self.plan_cache.report(),
+                "result_cache": self.result_cache.report(),
+                "strategy_memo": {
+                    uri: len(document.strategy_memo)
+                    for uri, document in self.documents.items()},
+                "generations": {
+                    uri: document.generation
+                    for uri, document in self.documents.items()},
+            }
 
     def clear_caches(self) -> None:
         """Drop every cached plan, result, and strategy choice."""
-        self.plan_cache.clear()
-        self.result_cache.clear()
-        for document in self.documents.values():
-            document.strategy_memo.clear()
+        with self.rwlock.write_locked():
+            self.plan_cache.clear()
+            self.result_cache.clear()
+            for document in self.documents.values():
+                with document.memo_lock:
+                    document.strategy_memo.clear()
 
     def xpath(self, text: str, strategy: str = "auto",
               uri: Optional[str] = None) -> QueryResult:
@@ -385,15 +461,16 @@ class Database:
         """Evaluate with the reference interpreter only (ground truth)."""
         from repro.xquery.interpreter import evaluate_xquery
 
-        trees = {loaded_uri: doc.tree
-                 for loaded_uri, doc in self.documents.items()}
-        context_node = None
-        if uri is not None:
-            context_node = self.document(uri).tree
-        elif self._default_uri is not None:
-            context_node = self.document().tree
-        return evaluate_xquery(text, documents=trees,
-                               context_node=context_node)
+        with self.rwlock.read_locked():
+            trees = {loaded_uri: doc.tree
+                     for loaded_uri, doc in self.documents.items()}
+            context_node = None
+            if uri is not None:
+                context_node = self.document(uri).tree
+            elif self._default_uri is not None:
+                context_node = self.document().tree
+            return evaluate_xquery(text, documents=trees,
+                                   context_node=context_node)
 
     def explain(self, text: str, strategy: str = "auto",
                 uri: Optional[str] = None) -> str:
@@ -401,10 +478,17 @@ class Database:
         cost estimates."""
         plan, _ = self._compiled_plan(text)
         lines = [explain_plan(plan)]
-        document = self.document(uri)
-        cost_model = CostModel(document.statistics)
-        planner = PhysicalPlanner(cost_model,
-                                  choice_memo=document.strategy_memo)
+        with self.rwlock.read_locked():
+            document = self.document(uri)
+            cost_model = CostModel(document.statistics)
+            planner = PhysicalPlanner(cost_model,
+                                      choice_memo=document.strategy_memo,
+                                      memo_lock=document.memo_lock)
+            return self._explain_walk(plan, lines, planner, cost_model,
+                                      strategy)
+
+    def _explain_walk(self, plan, lines: list, planner: PhysicalPlanner,
+                      cost_model: CostModel, strategy: str) -> str:
         from repro.algebra.plan import PlanNode, Tau
 
         def walk(node: PlanNode) -> None:
@@ -445,9 +529,11 @@ class Database:
 
     def planner_for(self, document: LoadedDocument) -> PhysicalPlanner:
         """A physical planner over the document's live statistics, with
-        the document's persistent strategy memo attached."""
+        the document's persistent strategy memo (and its lock, so
+        concurrent readers can memoize safely) attached."""
         return PhysicalPlanner(CostModel(document.statistics),
-                               choice_memo=document.strategy_memo)
+                               choice_memo=document.strategy_memo,
+                               memo_lock=document.memo_lock)
 
     # -- updates -------------------------------------------------------------------
 
@@ -461,7 +547,16 @@ class Database:
         update metrics are returned) and every derived structure — tag
         index, statistics, value indexes, pre-order maps — absorbs a
         *local delta* for the inserted subtree instead of a rebuild.
+
+        Takes the write lock: no query observes a mid-splice store.
         """
+        with self.rwlock.write_locked():
+            return self._insert_locked(parent_path, fragment, position,
+                                       uri)
+
+    def _insert_locked(self, parent_path: str, fragment: str,
+                       position: Optional[int],
+                       uri: Optional[str]) -> dict:
         document = self.document(uri)
         targets = self.query(parent_path, uri=uri).items
         if len(targets) != 1 or not isinstance(targets[0], model.Element):
@@ -502,7 +597,13 @@ class Database:
     def delete(self, path: str, uri: Optional[str] = None) -> dict:
         """Delete the (single) element ``path`` selects, keeping every
         storage structure aligned.  Returns the stores' update metrics.
+
+        Takes the write lock: no query observes a mid-splice store.
         """
+        with self.rwlock.write_locked():
+            return self._delete_locked(path, uri)
+
+    def _delete_locked(self, path: str, uri: Optional[str]) -> dict:
         document = self.document(uri)
         targets = self.query(path, uri=uri).items
         if len(targets) != 1 or not isinstance(targets[0], model.Element):
@@ -576,11 +677,13 @@ class Database:
                         force: bool = True) -> LoadedDocument:
         """Escape hatch: rebuild every derived structure of ``uri``'s
         document from the primary stores (the pre-incremental behaviour).
+        Takes the write lock.
         """
-        document = self.document(uri)
-        if force:
-            self._rebuild_derived(document)
-        return document
+        with self.rwlock.write_locked():
+            document = self.document(uri)
+            if force:
+                self._rebuild_derived(document)
+            return document
 
     def _rebuild_derived(self, document: LoadedDocument) -> None:
         """Refresh the structures derived from the primary stores."""
@@ -601,7 +704,8 @@ class Database:
             value_index=document.value_index,
             numeric_index=document.numeric_index,
             statistics=document.statistics)
-        document.strategy_memo.clear()
+        with document.memo_lock:
+            document.strategy_memo.clear()
         document.generation += 1
 
     def verify_derived(self, document: LoadedDocument) -> None:
@@ -640,6 +744,10 @@ class Database:
 
     def storage_report(self, uri: Optional[str] = None) -> dict:
         """Byte accounting of every storage structure (experiment E1)."""
+        with self.rwlock.read_locked():
+            return self._storage_report_locked(uri)
+
+    def _storage_report_locked(self, uri: Optional[str]) -> dict:
         document = self.document(uri)
         succinct_sizes = document.succinct.size_bytes()
         interval_sizes = document.interval.size_bytes()

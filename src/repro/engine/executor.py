@@ -10,6 +10,14 @@ FLWOR machinery, γ) is storage-agnostic.
 
 Patterns whose output set the join strategies cannot produce (multiple
 output vertices) run through the NoK binding machinery.
+
+Thread contract: one :class:`PhysicalExecutionContext` belongs to one
+query execution on one thread — contexts are cheap and never shared
+across threads (``Database.query_many`` builds one per query).  The
+shared structures a context touches (documents, caches, tag/value
+indexes, the page manager, the per-document strategy memo) are protected
+by the database's reader-writer lock and their own internal locks, so
+any number of contexts may execute concurrently.
 """
 
 from __future__ import annotations

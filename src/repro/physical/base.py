@@ -83,17 +83,22 @@ class MatchRuntime:
         """Re-derive segment extents from the current store sizes.
 
         Called after an in-place structural update so I/O charging keeps
-        tracking the stores without rebuilding the runtime.
+        tracking the stores without rebuilding the runtime.  Both extent
+        updates happen under the page manager's I/O lock so a concurrent
+        ``sequential_scan`` never observes one segment resized and the
+        other not (the engine's RW lock already excludes readers during
+        updates; this keeps the runtime safe standalone too).
         """
         if self.pages is None:
             return
-        structure = self.succinct.size_bytes()
-        self.structure_segment.length = (
-            structure["structure"] + structure["tags"]
-            + structure["kinds"])
-        # The navigational (commercial stand-in) strategy reads
-        # pointer-based DOM records, ~32 bytes per node.
-        self.dom_segment.length = 32 * self.succinct.node_count
+        with self.pages.io_lock:
+            structure = self.succinct.size_bytes()
+            self.structure_segment.length = (
+                structure["structure"] + structure["tags"]
+                + structure["kinds"])
+            # The navigational (commercial stand-in) strategy reads
+            # pointer-based DOM records, ~32 bytes per node.
+            self.dom_segment.length = 32 * self.succinct.node_count
 
     # -- vertex predicate evaluation -------------------------------------------
 

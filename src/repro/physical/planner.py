@@ -48,14 +48,35 @@ class PhysicalPlanner:
     a hot query but naturally expires whenever an update changes the
     document statistics.  The dict is owned by the caller (the engine
     keeps one per loaded document) and survives planner instances.
+
+    ``memo_lock`` (optional) guards the memo dict: concurrent reader
+    threads executing the same hot pattern read and fill it
+    simultaneously.  Only the get/put touch the lock — cost-model
+    evaluation runs outside it, so a racing miss costs at worst one
+    duplicate costing whose identical result is idempotent to store.
     """
 
     def __init__(self, cost_model: Optional[CostModel] = None,
-                 choice_memo: Optional[dict] = None):
+                 choice_memo: Optional[dict] = None,
+                 memo_lock=None):
         self.cost_model = cost_model
         self.choice_memo = choice_memo
+        self.memo_lock = memo_lock
         self.memo_hits = 0
         self.memo_misses = 0
+
+    def _memo_get(self, memo_key: tuple) -> Optional[str]:
+        if self.memo_lock is not None:
+            with self.memo_lock:
+                return self.choice_memo.get(memo_key)
+        return self.choice_memo.get(memo_key)
+
+    def _memo_put(self, memo_key: tuple, choice: str) -> None:
+        if self.memo_lock is not None:
+            with self.memo_lock:
+                self.choice_memo[memo_key] = choice
+        else:
+            self.choice_memo[memo_key] = choice
 
     def _memo_key(self, pattern: PatternGraph) -> Optional[tuple]:
         if self.choice_memo is None:
@@ -69,14 +90,14 @@ class PhysicalPlanner:
         """The strategy ``auto`` resolves to for this pattern."""
         memo_key = self._memo_key(pattern)
         if memo_key is not None:
-            cached = self.choice_memo.get(memo_key)
+            cached = self._memo_get(memo_key)
             if cached is not None:
                 self.memo_hits += 1
                 return cached
             self.memo_misses += 1
         choice = self._choose_uncached(pattern)
         if memo_key is not None:
-            self.choice_memo[memo_key] = choice
+            self._memo_put(memo_key, choice)
         return choice
 
     def _choose_uncached(self, pattern: PatternGraph) -> str:
@@ -116,7 +137,7 @@ class PhysicalPlanner:
                 # of this pattern skip the doomed attempt entirely.
                 memo_key = self._memo_key(pattern)
                 if memo_key is not None:
-                    self.choice_memo[memo_key] = fallback
+                    self._memo_put(memo_key, fallback)
             return result
 
     def match_bindings(self, pattern: PatternGraph, runtime: MatchRuntime,

@@ -15,6 +15,7 @@ report alongside wall-clock time.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -22,6 +23,9 @@ __all__ = ["IOCounters", "BufferPool", "PageManager", "Segment"]
 
 DEFAULT_PAGE_SIZE = 4096
 DEFAULT_POOL_PAGES = 256
+
+COUNTER_FIELDS = ("page_reads", "page_writes", "pool_hits",
+                  "logical_touches")
 
 
 @dataclass
@@ -120,7 +124,27 @@ class Segment:
 
 
 class PageManager:
-    """Owns segments and routes touches through one buffer pool."""
+    """Owns segments and routes touches through one buffer pool.
+
+    Thread safety & per-thread accounting
+    -------------------------------------
+
+    Every touch holds ``io_lock`` around the pool access *and* the
+    counter updates, so the LRU structure and the counters stay
+    consistent under concurrent queries.  Two sets of counters are
+    maintained under that lock:
+
+    * ``counters`` — the cumulative totals across all threads (what the
+      benchmarks report);
+    * a per-thread :class:`IOCounters`, credited with the same deltas
+      (snapshot-and-diff around each touch).
+
+    A query reports its own I/O by diffing :meth:`thread_snapshot`
+    before and after execution; because each thread only ever advances
+    its own counters, concurrent queries cannot race each other's
+    accounting, and the per-thread counters always sum to the
+    cumulative ones.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
                  pool_pages: int = DEFAULT_POOL_PAGES):
@@ -129,43 +153,113 @@ class PageManager:
         self.page_size = page_size
         self.counters = IOCounters()
         self.pool = BufferPool(pool_pages, counters=self.counters)
+        self.io_lock = threading.RLock()
         self._segments: dict[str, Segment] = {}
         self._next_id = 0
+        # thread ident -> that thread's private counters.  A dict (not
+        # threading.local) so reset() and invariant checks can see every
+        # thread's numbers; idents of dead threads may be reused, which
+        # only ever *continues* a cumulative counter — diff-based
+        # per-query accounting stays exact.
+        self._thread_counters: dict[int, IOCounters] = {}
+
+    # -- per-thread accounting --------------------------------------------------
+
+    def thread_counters(self) -> IOCounters:
+        """The calling thread's private I/O counters (created lazily)."""
+        ident = threading.get_ident()
+        with self.io_lock:
+            counters = self._thread_counters.get(ident)
+            if counters is None:
+                counters = IOCounters()
+                self._thread_counters[ident] = counters
+            return counters
+
+    def thread_snapshot(self) -> dict[str, int]:
+        """Snapshot of the calling thread's own counters — the basis of
+        per-query I/O reports (diff two of these around an execution)."""
+        return self.thread_counters().snapshot()
+
+    def threads_total(self) -> dict[str, int]:
+        """Sum of every thread's counters (equals ``counters`` as long
+        as all charging goes through this manager — an invariant the
+        concurrency stress suite checks)."""
+        with self.io_lock:
+            totals = dict.fromkeys(COUNTER_FIELDS, 0)
+            for counters in self._thread_counters.values():
+                for field_name in COUNTER_FIELDS:
+                    totals[field_name] += getattr(counters, field_name)
+            return totals
+
+    def _credit_thread(self, before: dict[str, int]) -> None:
+        """Add the global-counter delta since ``before`` to the calling
+        thread's counters.  Caller holds ``io_lock``."""
+        local = self._thread_counters.get(threading.get_ident())
+        if local is None:
+            local = IOCounters()
+            self._thread_counters[threading.get_ident()] = local
+        for field_name in COUNTER_FIELDS:
+            delta = getattr(self.counters, field_name) - before[field_name]
+            if delta:
+                setattr(local, field_name,
+                        getattr(local, field_name) + delta)
+
+    # -- segments ---------------------------------------------------------------
 
     def segment(self, name: str, length: int = 0) -> Segment:
         """Get or create the segment called ``name``; ``length`` updates
         the extent size when larger than the current one."""
-        existing = self._segments.get(name)
-        if existing is not None:
-            if length > existing.length:
-                existing.length = length
-            return existing
-        segment = Segment(self, self._next_id, name, length)
-        self._next_id += 1
-        self._segments[name] = segment
-        return segment
+        with self.io_lock:
+            existing = self._segments.get(name)
+            if existing is not None:
+                if length > existing.length:
+                    existing.length = length
+                return existing
+            segment = Segment(self, self._next_id, name, length)
+            self._next_id += 1
+            self._segments[name] = segment
+            return segment
+
+    # -- touching ---------------------------------------------------------------
 
     def touch(self, segment: Segment, offset: int, length: int,
               write: bool = False) -> None:
         """Access the byte range, counting page hits/misses."""
         if length <= 0:
             return
-        self.counters.logical_touches += 1
-        for page_id in segment.page_span(offset, length):
-            self.pool.access(segment.segment_id, page_id, write=write)
+        with self.io_lock:
+            before = self.counters.snapshot()
+            self.counters.logical_touches += 1
+            for page_id in segment.page_span(offset, length):
+                self.pool.access(segment.segment_id, page_id, write=write)
+            self._credit_thread(before)
 
     def sequential_scan(self, segment: Segment) -> None:
         """Touch every page of the segment once, in order — the cost of
         one full sequential read."""
-        self.counters.logical_touches += 1
-        for page_id in range(segment.pages):
-            self.pool.access(segment.segment_id, page_id)
+        with self.io_lock:
+            before = self.counters.snapshot()
+            self.counters.logical_touches += 1
+            for page_id in range(segment.pages):
+                self.pool.access(segment.segment_id, page_id)
+            self._credit_thread(before)
 
     def reset(self) -> None:
-        """Clear counters and drop the pool contents (a cold start)."""
-        self.counters.reset()
-        self.pool._pages.clear()
+        """Cold start: zero every counter, then empty the pool through
+        :meth:`BufferPool.flush` so dirty pages are *written back and
+        counted* — after a reset, ``page_writes`` holds exactly the
+        write-back cost of the state that was dropped.  (The seed
+        reached into ``pool._pages.clear()`` directly, silently losing
+        those writes.)"""
+        with self.io_lock:
+            self.counters.reset()
+            for counters in self._thread_counters.values():
+                counters.reset()
+            before = self.counters.snapshot()
+            self.pool.flush()
+            self._credit_thread(before)
 
     def segments(self) -> list[Segment]:
         """All registered segments."""
-        return list(self._segments.values())
+        with self.io_lock:
+            return list(self._segments.values())

@@ -1,0 +1,151 @@
+"""Regression tests for three serving-layer correctness bugs.
+
+1. ``normalize_query`` collapsed whitespace *inside string literals*,
+   so ``//book[title="a  b"]`` and ``//book[title="a b"]`` collided to
+   one plan-cache and result-cache key — the second query silently
+   returned the first query's cached result.
+2. ``ResultCache.lookup`` returned the cached ``items`` list by
+   reference (while ``store`` defensively copied on the way in), so a
+   caller mutating the returned list corrupted every later hit.
+3. ``PageManager.reset()`` reached into ``pool._pages.clear()``
+   directly, dropping dirty pages without counting ``page_writes``.
+"""
+
+from repro.engine.cache import ResultCache, normalize_query
+from repro.engine.database import Database
+from repro.storage.pages import PageManager
+
+
+BIB = """
+<bib>
+  <book><title>a  b</title><price>1</price></book>
+  <book><title>a b</title><price>2</price></book>
+</bib>
+"""
+
+
+class TestLiteralAwareNormalization:
+    def test_whitespace_inside_literals_is_significant(self):
+        assert (normalize_query('//book[title="a  b"]')
+                != normalize_query('//book[title="a b"]'))
+        assert (normalize_query("//book[title='a  b']")
+                != normalize_query("//book[title='a b']"))
+
+    def test_whitespace_outside_literals_still_collapses(self):
+        assert (normalize_query('  //book [ title = "a  b" ] \n')
+                == normalize_query('//book [ title = "a  b" ]'))
+        assert normalize_query(" a  b \n c ") == "a b c"
+
+    def test_doubled_quote_escape_stays_inside_the_literal(self):
+        # "a""  b" is ONE literal (doubled-quote escape); the run of
+        # spaces inside it must survive.
+        text = '//book[title="a""  b"]'
+        assert normalize_query(text) == text
+        # ...and the quote does not leak: whitespace after the literal
+        # still collapses.
+        assert (normalize_query('//book[title="a""b"  ]')
+                == '//book[title="a""b" ]')
+
+    def test_unterminated_literal_is_deterministic(self):
+        # The lexer rejects it later; the key just must not crash and
+        # must preserve the tail verbatim.
+        assert normalize_query('//a[t="x  y') == '//a[t="x  y'
+
+    def test_mixed_quotes(self):
+        assert (normalize_query("//a[t=\"it's  here\"]")
+                == "//a[t=\"it's  here\"]")
+
+    def test_end_to_end_no_cache_collision(self):
+        """The second query must NOT be served the first one's result."""
+        db = Database()
+        db.load(BIB, uri="bib.xml")
+        first = db.query('//book[title="a  b"]/price')
+        second = db.query('//book[title="a b"]/price')
+        assert first.values() == ["1"]
+        assert second.values() == ["2"]
+        # Distinct keys: the second query cannot be a result-cache hit.
+        assert second.stats["cache"]["result"] == "miss"
+        # Both now cached under their own keys.
+        assert db.query('//book[title="a  b"]/price').values() == ["1"]
+        assert db.query('//book[title="a b"]/price').values() == ["2"]
+
+    def test_result_cache_key_uses_corrected_form(self):
+        db = Database()
+        db.load(BIB, uri="bib.xml")
+        db.query('//book[title  =  "a  b"]/price')
+        # Outside-literal whitespace *runs* share the corrected key...
+        warm = db.query(' //book[title = "a  b"]/price ')
+        assert warm.stats["cache"]["plan"] == "hit"
+        assert warm.stats["cache"]["result"] == "hit"
+        assert warm.values() == ["1"]
+
+
+class TestResultCacheAliasing:
+    def test_lookup_returns_a_copy(self):
+        cache = ResultCache(capacity=8)
+        key = ResultCache.key("//book", "auto", "bib.xml")
+        stamp = (0,)
+        cache.store(key, stamp, ["x", "y"], "nok")
+        first, _ = cache.lookup(key, stamp)
+        first.append("junk")       # caller mutates its result list
+        first.pop(0)
+        again, strategy = cache.lookup(key, stamp)
+        assert again == ["x", "y"]  # cache unharmed
+        assert strategy == "nok"
+
+    def test_store_copies_on_the_way_in_too(self):
+        cache = ResultCache(capacity=8)
+        key = ResultCache.key("//book", "auto", None)
+        items = ["x"]
+        cache.store(key, (0,), items, None)
+        items.append("mutated-later")
+        cached, _ = cache.lookup(key, (0,))
+        assert cached == ["x"]
+
+    def test_end_to_end_result_items_mutation_is_isolated(self):
+        db = Database()
+        db.load(BIB, uri="bib.xml")
+        db.query("//book/title")
+        warm = db.query("//book/title")
+        assert warm.stats["cache"]["result"] == "hit"
+        warm.items.clear()          # abuse the returned list
+        rewarm = db.query("//book/title")
+        assert rewarm.stats["cache"]["result"] == "hit"
+        assert rewarm.values() == ["a  b", "a b"]
+
+
+class TestResetWriteBackAccounting:
+    def test_reset_counts_dirty_write_backs(self):
+        pages = PageManager(page_size=64, pool_pages=16)
+        segment = pages.segment("seg", 64 * 8)
+        # Dirty three distinct pages.
+        for page in range(3):
+            segment.touch(page * 64, 1, write=True)
+        assert len(pages.pool) == 3
+        pages.reset()
+        # The pool is empty (cold start) AND the write-backs of the
+        # three dirty pages were counted — the seed silently lost them.
+        assert len(pages.pool) == 0
+        assert pages.counters.page_writes == 3
+        assert pages.counters.page_reads == 0
+
+    def test_reset_with_clean_pages_counts_nothing(self):
+        pages = PageManager(page_size=64)
+        segment = pages.segment("seg", 64 * 4)
+        segment.touch(0, 1)                   # clean read
+        pages.reset()
+        assert pages.counters.snapshot() == {
+            "page_reads": 0, "page_writes": 0,
+            "pool_hits": 0, "logical_touches": 0}
+
+    def test_reset_zeroes_per_thread_counters_too(self):
+        pages = PageManager(page_size=64)
+        segment = pages.segment("seg", 64 * 4)
+        segment.touch(0, 1, write=True)
+        assert pages.thread_snapshot()["page_reads"] == 1
+        pages.reset()
+        snap = pages.thread_snapshot()
+        assert snap["page_reads"] == 0
+        # The flushed dirty page is credited to the resetting thread.
+        assert snap["page_writes"] == 1
+        assert pages.threads_total() == pages.counters.snapshot()
