@@ -70,6 +70,20 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
+    # E10-E12 follow the run(quick)/test_eN_report() shape (no
+    # benchmark fixture): serving-layer caches, concurrency, durability.
+    from benchmarks import (
+        bench_e10_query_cache,
+        bench_e11_concurrency,
+        bench_e12_durability,
+    )
+
+    for label, module in (("E10", bench_e10_query_cache),
+                          ("E11", bench_e11_concurrency),
+                          ("E12", bench_e12_durability)):
+        print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
+        module.run(quick=False)
+
     elapsed = time.perf_counter() - started
     print(f"\nAll experiments completed in {elapsed:.1f}s; tables saved "
           f"under benchmarks/results/.")

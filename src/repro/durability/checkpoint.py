@@ -1,0 +1,132 @@
+"""Checkpointing: atomic snapshot publication + WAL rotation.
+
+A checkpoint turns the WAL suffix into a snapshot:
+
+1. the whole database state is serialized into
+   ``snapshot-<gen>.snap.tmp``, flushed and fsynced;
+2. the temp file is atomically renamed to ``snapshot-<gen>.snap`` (and
+   the directory fsynced), which is the *publication point* — a crash
+   anywhere before the rename leaves the previous generation intact;
+3. a fresh, empty ``wal-<gen>.log`` becomes the current log;
+4. generations older than ``keep_generations`` are pruned.  Two
+   generations are kept by default so recovery can fall back to the
+   previous snapshot (plus both WALs) if the newest one turns out to be
+   corrupt on disk.
+
+Checkpoints run under the database's exclusive writer lock — either
+explicitly via ``db.checkpoint()`` or automatically every
+``checkpoint_every`` logged operations (the policy lives in
+:class:`repro.durability.manager.DurabilityManager`).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from pathlib import Path
+
+from repro.durability.snapshot import write_snapshot
+from repro.durability.wal import WriteAheadLog
+
+__all__ = ["snapshot_path", "wal_path", "list_generations",
+           "write_checkpoint", "fsync_directory"]
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.snap$")
+_WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def snapshot_path(directory: Path, generation: int) -> Path:
+    return directory / f"snapshot-{generation:08d}.snap"
+
+
+def wal_path(directory: Path, generation: int) -> Path:
+    return directory / f"wal-{generation:08d}.log"
+
+
+def list_generations(directory: Path) -> dict[str, list[int]]:
+    """The snapshot and WAL generations present on disk (ascending)."""
+    snapshots: list[int] = []
+    wals: list[int] = []
+    if directory.exists():
+        for entry in directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                snapshots.append(int(match.group(1)))
+                continue
+            match = _WAL_RE.match(entry.name)
+            if match:
+                wals.append(int(match.group(1)))
+    return {"snapshots": sorted(snapshots), "wals": sorted(wals)}
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush directory metadata (renames/unlinks) where supported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(manager, database) -> dict:
+    """Write the next snapshot generation, rotate the WAL, prune.
+
+    ``manager`` is the owning
+    :class:`~repro.durability.manager.DurabilityManager`; the caller
+    holds the database's write lock.  Returns a report dict.
+    """
+    directory = manager.directory
+    generation = manager.generation + 1
+    final = snapshot_path(directory, generation)
+    temp = final.with_suffix(".snap.tmp")
+    started = time.perf_counter()
+    with manager.open_snapshot_file(temp) as out:
+        report = write_snapshot(out, database)
+        out.flush()
+        os.fsync(out.fileno())
+    os.replace(temp, final)
+    fsync_directory(directory)
+
+    # The snapshot is durable: rotate to a fresh WAL for this generation.
+    if manager.wal is not None:
+        manager.wal.close()
+    manager.wal, _ = WriteAheadLog.open(
+        wal_path(directory, generation), fsync=manager.fsync,
+        opener=manager.wal_opener)
+    manager.generation = generation
+    manager.ops_since_checkpoint = 0
+    manager.checkpoints_written += 1
+
+    pruned = prune_generations(directory, generation,
+                               keep=manager.keep_generations)
+    report.update({
+        "generation": generation,
+        "elapsed_seconds": time.perf_counter() - started,
+        "pruned_files": pruned,
+        "snapshot_path": str(final),
+    })
+    return report
+
+
+def prune_generations(directory: Path, newest: int, keep: int = 2) -> int:
+    """Delete snapshot/WAL files older than the ``keep`` most recent
+    generations (and any leftover temp files).  Returns files removed."""
+    cutoff = newest - keep + 1
+    removed = 0
+    for entry in list(directory.iterdir()):
+        match = _SNAPSHOT_RE.match(entry.name) or _WAL_RE.match(entry.name)
+        if match is not None and int(match.group(1)) < cutoff:
+            entry.unlink()
+            removed += 1
+        elif entry.name.endswith(".snap.tmp"):
+            entry.unlink()
+            removed += 1
+    if removed:
+        fsync_directory(directory)
+    return removed

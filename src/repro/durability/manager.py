@@ -1,0 +1,141 @@
+"""The durability policy object owned by a durable Database.
+
+A :class:`DurabilityManager` ties the pieces together: it owns the
+directory, the current WAL and generation counter, decides *when* to
+checkpoint (every ``checkpoint_every`` logged operations), and exposes
+the injectable file openers that the crash-injection harness uses to
+make writes fail at chosen byte offsets.
+
+The manager itself is not locked: every entry point is called by the
+Database while it holds its exclusive writer lock, which serializes
+logging, checkpointing and recovery against queries and each other.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO, Callable, Optional
+
+from repro.durability.checkpoint import write_checkpoint
+from repro.durability.recovery import recover
+
+__all__ = ["DurabilityManager"]
+
+# Signature of an injectable opener: (path, mode) -> file object.
+Opener = Callable[[Path, str], BinaryIO]
+
+
+def _default_opener(path: Path, mode: str) -> BinaryIO:
+    return open(path, mode)
+
+
+class DurabilityManager:
+    """Snapshots + WAL + checkpoint policy for one database directory.
+
+    Parameters
+    ----------
+    directory:
+        Where ``snapshot-*.snap`` and ``wal-*.log`` files live (created
+        if missing).
+    checkpoint_every:
+        Auto-checkpoint after this many logged operations (0 disables
+        automatic checkpoints; explicit ``db.checkpoint()`` still
+        works).
+    fsync:
+        Pass ``False`` to skip fsync calls (benchmarks only — crash
+        safety requires the default).
+    keep_generations:
+        Snapshot/WAL generations retained after a checkpoint; 2 gives
+        recovery one complete fallback if the newest snapshot is
+        corrupt on disk.
+    wal_opener / snapshot_opener:
+        Injectable file openers (the crash harness substitutes
+        :class:`~tests.durability.faults.FaultingFile` factories).
+    """
+
+    def __init__(self, directory, *, checkpoint_every: int = 256,
+                 fsync: bool = True, keep_generations: int = 2,
+                 wal_opener: Optional[Opener] = None,
+                 snapshot_opener: Optional[Opener] = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = checkpoint_every
+        self.fsync = fsync
+        self.keep_generations = max(1, keep_generations)
+        self.wal_opener = wal_opener
+        self.snapshot_opener = snapshot_opener or _default_opener
+        self.generation = 0
+        self.wal = None
+        self.replaying = False
+        self.ops_since_checkpoint = 0
+        self.checkpoints_written = 0
+        self.records_logged = 0
+        self.last_recovery: Optional[dict] = None
+
+    # -- file plumbing ------------------------------------------------------------
+
+    def open_snapshot_file(self, path: Path) -> BinaryIO:
+        """Open the temp snapshot file for writing (injectable so the
+        crash harness can kill the write mid-snapshot)."""
+        return self.snapshot_opener(path, "wb")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def attach(self, database) -> dict:
+        """Recover ``database`` from the directory and open the current
+        WAL.  Called once from :meth:`Database.open` under the write
+        lock; returns the recovery report."""
+        self.last_recovery = recover(self, database)
+        return self.last_recovery
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    # -- logging ------------------------------------------------------------------
+
+    def log(self, record: dict) -> None:
+        """Append one logical record and fsync it.  The caller mutates
+        in-memory state only after this returns — that ordering *is*
+        the write-ahead invariant."""
+        if self.replaying or self.wal is None:
+            return
+        self.wal.append(record)
+        self.records_logged += 1
+        self.ops_since_checkpoint += 1
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def maybe_checkpoint(self, database) -> Optional[dict]:
+        """Checkpoint when the policy says so (returns the report)."""
+        if self.replaying or self.checkpoint_every <= 0:
+            return None
+        if self.ops_since_checkpoint < self.checkpoint_every:
+            return None
+        return self.checkpoint(database)
+
+    def checkpoint(self, database) -> dict:
+        """Write the next snapshot generation and rotate the WAL."""
+        return write_checkpoint(self, database)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "generation": self.generation,
+            "checkpoint_every": self.checkpoint_every,
+            "fsync": self.fsync,
+            "keep_generations": self.keep_generations,
+            "records_logged": self.records_logged,
+            "ops_since_checkpoint": self.ops_since_checkpoint,
+            "checkpoints_written": self.checkpoints_written,
+            "wal_bytes": 0 if self.wal is None else self.wal.size_bytes,
+            "last_recovery": self.last_recovery,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<DurabilityManager gen={self.generation} "
+                f"dir={os.fspath(self.directory)!r}>")

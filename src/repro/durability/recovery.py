@@ -1,0 +1,123 @@
+"""Recovery: rebuild a live database from snapshot + WAL suffix.
+
+``recover(manager, database)`` is what :meth:`Database.open` runs under
+the write lock before the database accepts queries:
+
+1. pick the newest snapshot generation whose file parses and passes
+   every section checksum; a corrupt newest generation falls back to
+   the previous one (``keep_generations`` retention exists exactly for
+   this), and *no* snapshot at all means an empty starting state;
+2. restore the chosen snapshot verbatim through
+   :meth:`Database._restore_from_snapshot` — no XML parsing, no
+   ``rebuild_derived``;
+3. replay every WAL with generation >= the chosen snapshot in
+   ascending order.  Each WAL is opened through
+   :meth:`WriteAheadLog.open`, which truncates a torn tail frame, so a
+   crash mid-append loses exactly the unacknowledged record and
+   nothing else.  Replayed records re-run the normal update paths with
+   ``manager.replaying`` set (which suppresses re-logging and
+   auto-checkpoints);
+4. the manager's generation is advanced past *every* file present on
+   disk — even corrupt ones — so the next checkpoint can never collide
+   with (and be masked by) a damaged file;
+5. with ``debug_checks`` enabled the recovered documents are
+   cross-checked against fresh rebuilds (``verify_derived``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError, SnapshotCorruptError, \
+    WALCorruptError
+from repro.durability.checkpoint import (
+    list_generations,
+    snapshot_path,
+    wal_path,
+)
+from repro.durability.snapshot import read_snapshot
+from repro.durability.wal import WriteAheadLog
+
+__all__ = ["recover"]
+
+
+def recover(manager, database) -> dict:
+    """Restore ``database`` from ``manager.directory``.
+
+    Returns a report dict: chosen snapshot generation (or None),
+    snapshots that failed validation, WAL records replayed, and bytes
+    truncated from torn WAL tails.
+    """
+    directory = manager.directory
+    generations = list_generations(directory)
+    corrupt: list[int] = []
+    chosen = None
+    state = None
+    for generation in reversed(generations["snapshots"]):
+        try:
+            state = read_snapshot(snapshot_path(directory, generation))
+        except SnapshotCorruptError:
+            corrupt.append(generation)
+            continue
+        chosen = generation
+        break
+    if chosen is None and corrupt:
+        # Snapshots exist but none validates.  Replaying from an empty
+        # state is only sound if the *complete* WAL history survives
+        # (generation 0 onward, no pruning gaps); otherwise we would
+        # silently resurrect a partial database — refuse instead.
+        wals = generations["wals"]
+        if not wals or wals != list(range(wals[-1] + 1)):
+            raise RecoveryError(
+                f"every snapshot generation is corrupt "
+                f"({sorted(corrupt)}) and the WAL history is "
+                f"incomplete: cannot recover")
+
+    if state is not None:
+        database._restore_from_snapshot(state)
+    replay_from = chosen if chosen is not None else 0
+
+    replayed = 0
+    truncated = 0
+    replay_wals = [g for g in generations["wals"] if g >= replay_from]
+    manager.replaying = True
+    try:
+        for generation in replay_wals:
+            path = wal_path(directory, generation)
+            size_before = path.stat().st_size
+            try:
+                wal, records = WriteAheadLog.open(
+                    path, fsync=manager.fsync, opener=manager.wal_opener)
+            except WALCorruptError:
+                # A WAL whose very header is damaged contributes
+                # nothing; the snapshot for its generation already
+                # holds everything earlier.
+                corrupt.append(generation)
+                continue
+            truncated += max(0, size_before - wal.size_bytes)
+            wal.close()
+            for record in records:
+                database._replay_record(record)
+                replayed += 1
+    finally:
+        manager.replaying = False
+
+    # Never reuse a generation number that exists on disk in any form:
+    # a new checkpoint must not sit beside (or behind) a corrupt file
+    # with the same number.
+    highest = max(
+        [replay_from] + generations["snapshots"] + generations["wals"]
+        + corrupt)
+    manager.generation = highest
+    current = wal_path(directory, highest)
+    manager.wal, _ = WriteAheadLog.open(
+        current, fsync=manager.fsync, opener=manager.wal_opener)
+
+    if database.debug_checks:
+        for document in list(database.documents.values()):
+            database.verify_derived(document)
+
+    return {
+        "snapshot_generation": chosen,
+        "corrupt_generations": sorted(corrupt),
+        "wal_records_replayed": replayed,
+        "wal_bytes_truncated": truncated,
+    }

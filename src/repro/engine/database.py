@@ -38,6 +38,19 @@ remains as an escape hatch, and ``debug_checks=True`` (or the
 ``REPRO_DEBUG_UPDATES`` environment variable) cross-checks the
 incremental state against a fresh rebuild after every update.
 
+Durability
+----------
+
+``Database.open(directory)`` returns a database whose state survives
+process crashes: every ``load``/``insert``/``delete`` is appended to a
+write-ahead log and fsynced *before* any in-memory structure changes,
+and ``checkpoint()`` (explicit, or automatic every
+``checkpoint_every`` logged operations) publishes an atomic snapshot
+and rotates the log.  Re-opening the directory restores the newest
+valid snapshot — bypassing XML parsing and ``rebuild_derived``
+entirely — and replays the WAL suffix; a corrupt newest snapshot falls
+back to the previous generation.  See :mod:`repro.durability`.
+
 Concurrency
 -----------
 
@@ -60,7 +73,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
-from repro.errors import ExecutionError, StorageError
+from repro.errors import ExecutionError, RecoveryError, StorageError
 from repro.xml import model
 from repro.xml.parser import parse
 from repro.xml.serializer import serialize
@@ -80,6 +93,8 @@ from repro.engine.cache import (
     PreparedQuery,
     ResultCache,
 )
+from repro.durability.manager import DurabilityManager
+from repro.durability.snapshot import materialise_tree
 from repro.engine.concurrency import RWLock
 from repro.engine.executor import PhysicalExecutionContext, run_plan
 from repro.engine.mapping import (
@@ -186,10 +201,145 @@ class Database:
         self.debug_checks = (debug_checks
                              or bool(os.environ.get("REPRO_DEBUG_UPDATES")))
         self._load_epoch = 0
+        # Set by Database.open(); None = a purely in-memory database.
+        self.durability: Optional[DurabilityManager] = None
         # Queries take the read side; load/insert/delete/rebuild take
         # the write side.  Writer-preferring so a stream of cached reads
         # cannot starve updates.
         self.rwlock = RWLock()
+
+    # -- durability ---------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, *, checkpoint_every: int = 256,
+             fsync: bool = True, keep_generations: int = 2,
+             wal_opener=None, snapshot_opener=None,
+             **kwargs) -> "Database":
+        """Open (or create) a *durable* database backed by ``directory``.
+
+        Recovery runs before this returns: the newest valid snapshot is
+        restored verbatim — no XML parsing, no ``rebuild_derived`` — and
+        the write-ahead log suffix is replayed on top (truncating a torn
+        tail record left by a crash mid-append).  A corrupt newest
+        snapshot falls back to the previous retained generation.
+
+        ``checkpoint_every`` logged operations trigger an automatic
+        snapshot + WAL rotation (0 disables; ``db.checkpoint()`` always
+        works).  ``wal_opener`` / ``snapshot_opener`` are injectable
+        file factories for the crash-injection test harness.  Remaining
+        ``kwargs`` go to the :class:`Database` constructor.
+        """
+        database = cls(**kwargs)
+        manager = DurabilityManager(
+            directory, checkpoint_every=checkpoint_every, fsync=fsync,
+            keep_generations=keep_generations, wal_opener=wal_opener,
+            snapshot_opener=snapshot_opener)
+        database.durability = manager
+        with database.rwlock.write_locked():
+            manager.attach(database)
+        return database
+
+    def close(self) -> None:
+        """Close the durable backing (flushes nothing — every logged
+        operation is already fsynced).  No-op for in-memory databases."""
+        if self.durability is None:
+            return
+        with self.rwlock.write_locked():
+            self.durability.close()
+
+    def checkpoint(self) -> dict:
+        """Write a snapshot generation and rotate the WAL (exclusive)."""
+        if self.durability is None:
+            raise ExecutionError(
+                "checkpoint() requires a durable database — use "
+                "Database.open(directory)")
+        with self.rwlock.write_locked():
+            return self.durability.checkpoint(self)
+
+    def durability_report(self) -> Optional[dict]:
+        """Generation, WAL and checkpoint accounting (None if
+        in-memory)."""
+        if self.durability is None:
+            return None
+        with self.rwlock.read_locked():
+            return self.durability.report()
+
+    def _log_update(self, record: dict) -> None:
+        """Append + fsync one logical WAL record *before* the caller
+        mutates any in-memory state (no-op for in-memory databases and
+        during recovery replay)."""
+        if self.durability is not None:
+            self.durability.log(record)
+
+    def _restore_from_snapshot(self, state: dict) -> None:
+        """Install a decoded snapshot (see
+        :func:`repro.durability.snapshot.read_snapshot`) verbatim.
+
+        Every derived structure — tag index, statistics, value indexes —
+        is restored through its ``from_snapshot``/``restore``
+        constructor; only the model tree is rebuilt, by a pre-order walk
+        of the succinct store (no XML tokenizer).  Called by recovery
+        under the write lock.
+        """
+        self.documents.clear()
+        for parts in state["documents"]:
+            header = parts["header"]
+            uri = header["uri"]
+            succinct = SuccinctDocument.from_snapshot(parts["succinct"])
+            interval = IntervalDocument.from_snapshot(parts["interval"],
+                                                      succinct)
+            tag_index = TagIndex.restore(interval, parts["tagindex"],
+                                         pages=self.pages)
+            statistics = DocumentStatistics.from_snapshot(
+                parts["statistics"])
+            value_index = ContentIndex.restore(
+                succinct.content, parts["valueindex"],
+                segment=self.pages.segment(f"value-btree:{uri}"))
+            numeric_index = ContentIndex.restore(
+                succinct.content, parts["numericindex"],
+                segment=self.pages.segment(f"numeric-btree:{uri}"))
+            tree, node_list = materialise_tree(interval, uri)
+            document = LoadedDocument(
+                uri=uri, tree=tree, succinct=succinct, interval=interval,
+                tag_index=tag_index, statistics=statistics,
+                value_index=value_index, numeric_index=numeric_index,
+                runtime=None,  # type: ignore[arg-type]
+                node_list=node_list,
+                preorder_map={node.node_id: pre for pre, node
+                              in enumerate(node_list)},
+                generation=header["generation"])
+            document.runtime = MatchRuntime(
+                succinct, interval, tag_index, pages=self.pages,
+                residual_check=self._residual_checker(document),
+                value_index=value_index, numeric_index=numeric_index,
+                statistics=statistics)
+            self.documents[uri] = document
+        self._default_uri = state["default_uri"]
+        self._load_epoch = state["load_epoch"]
+
+    def _replay_record(self, record: dict) -> None:
+        """Re-apply one logged operation during recovery (the manager's
+        ``replaying`` flag suppresses re-logging and checkpoints)."""
+        op = record.get("op")
+        if op == "load":
+            tree = parse(record["xml"], keep_whitespace=True,
+                         uri=record["uri"])
+            self._load_tree_locked(tree, record["uri"])
+            return
+        if op == "insert":
+            self._insert_locked(record["parent_path"],
+                                record["fragment"],
+                                record["position"], record["uri"])
+        elif op == "delete":
+            self._delete_locked(record["path"], record["uri"])
+        else:
+            raise RecoveryError(f"unknown WAL record op {op!r}")
+        document = self.documents.get(record["uri"])
+        if document is None or document.generation != record["generation"]:
+            got = None if document is None else document.generation
+            raise RecoveryError(
+                f"replaying {op!r} on {record['uri']!r} produced "
+                f"generation {got}, WAL expected {record['generation']}")
 
     # -- loading ---------------------------------------------------------------
 
@@ -206,9 +356,21 @@ class Database:
 
     def load_tree(self, tree: model.Document,
                   uri: str = "doc.xml") -> LoadedDocument:
-        """Load an already-built model tree (takes the write lock)."""
+        """Load an already-built model tree (takes the write lock).
+
+        On a durable database the load is logged (the serialized tree
+        replays with whitespace preserved) and immediately followed by
+        a checkpoint, so the bulk XML text never has to be replayed on
+        the common recovery path — reopening restores the snapshot.
+        """
         with self.rwlock.write_locked():
-            return self._load_tree_locked(tree, uri)
+            self._log_update({"op": "load", "uri": uri,
+                              "xml": serialize(tree)})
+            document = self._load_tree_locked(tree, uri)
+            if (self.durability is not None
+                    and not self.durability.replaying):
+                self.durability.checkpoint(self)
+            return document
 
     def _load_tree_locked(self, tree: model.Document,
                           uri: str) -> LoadedDocument:
@@ -577,6 +739,18 @@ class Database:
         if position < 0 or position > len(element_children):
             raise ExecutionError(f"child position {position} out of range")
 
+        # Every validation passed: make the operation durable *before*
+        # touching any in-memory structure (write-ahead invariant).  The
+        # position is the normalized one, so replay is deterministic;
+        # the generation stamp lets replay verify it reproduced this
+        # exact state transition.
+        self._log_update({
+            "op": "insert", "uri": document.uri,
+            "parent_path": parent_path, "fragment": fragment,
+            "position": position,
+            "generation": document.generation + 1,
+        })
+
         # Primary stores: local splices, with the paper's cost metrics.
         parent_pre = document.preorder_map[parent.node_id]
         succinct_metrics = document.succinct.insert_subtree(
@@ -614,6 +788,11 @@ class Database:
         if victim.parent is None:
             raise ExecutionError("cannot delete the document element's "
                                  "parent")
+        # Validated: log + fsync before the first in-memory mutation.
+        self._log_update({
+            "op": "delete", "uri": document.uri, "path": path,
+            "generation": document.generation + 1,
+        })
         preorder = document.preorder_map[victim.node_id]
 
         # Derived deltas that need pre-splice labels run first: the tag
@@ -672,6 +851,10 @@ class Database:
         document.runtime.refresh_segments()
         if self.debug_checks:
             self.verify_derived(document)
+        if self.durability is not None:
+            # The logged operation is fully applied: safe point for the
+            # automatic checkpoint policy (suppressed during replay).
+            self.durability.maybe_checkpoint(self)
 
     def rebuild_derived(self, uri: Optional[str] = None,
                         force: bool = True) -> LoadedDocument:
@@ -751,10 +934,13 @@ class Database:
         document = self.document(uri)
         succinct_sizes = document.succinct.size_bytes()
         interval_sizes = document.interval.size_bytes()
-        return {
+        report = {
             "nodes": document.succinct.node_count,
             "succinct": succinct_sizes,
             "interval": interval_sizes,
             "tag_index_bytes": document.tag_index.size_bytes(),
             "value_index_bytes": document.value_index.size_bytes(),
         }
+        if self.durability is not None:
+            report["durability"] = self.durability.report()
+        return report

@@ -63,6 +63,29 @@ class StorageError(ReproError):
     """Raised on storage-layer failures (corrupt page, bad node id...)."""
 
 
+class DurabilityError(StorageError):
+    """Base class for durability-layer failures (snapshots, WAL,
+    recovery).  Derives from :class:`StorageError` so existing storage
+    error handling keeps working."""
+
+
+class SnapshotCorruptError(DurabilityError):
+    """A snapshot file failed validation (bad magic, truncated section,
+    CRC mismatch).  Recovery reacts by falling back to the previous
+    snapshot generation."""
+
+
+class WALCorruptError(DurabilityError):
+    """A write-ahead log is damaged beyond the recoverable torn-tail
+    case (bad magic on a non-empty file, for example)."""
+
+
+class RecoveryError(DurabilityError):
+    """Recovery could not reconstruct a consistent database state
+    (e.g. a replayed record's generation stamp disagrees with the
+    state it was applied to)."""
+
+
 class PlanError(ReproError):
     """Raised by the planner when no physical plan can implement a logical
     plan (e.g. a strategy was forced that cannot express the pattern)."""

@@ -201,6 +201,35 @@ class BitVector:
                 high = mid - 1
         return low
 
+    # -- serialization ----------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer: the bit length and
+        the packed 64-bit words as little-endian bytes.  The rank
+        directory is *not* serialized — it is cheap to rebuild (one
+        popcount pass) and deriving it on load means a corrupted
+        directory can never disagree with the payload."""
+        import sys
+        from array import array
+
+        words = array("Q", self._words)
+        if sys.byteorder != "little":  # pragma: no cover
+            words.byteswap()
+        return {"length": self._length, "words": words.tobytes()}
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "BitVector":
+        """Rebuild a bitvector from :meth:`to_snapshot` output (the
+        constructor recomputes the rank directory)."""
+        import sys
+        from array import array
+
+        words = array("Q")
+        words.frombytes(bytes(state["words"]))
+        if sys.byteorder != "little":  # pragma: no cover
+            words.byteswap()
+        return cls(words.tolist(), state["length"])
+
     # -- accounting -------------------------------------------------------------
 
     def size_bytes(self) -> int:

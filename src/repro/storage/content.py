@@ -107,6 +107,32 @@ class ContentStore:
         pairs.sort()
         return pairs
 
+    # -- serialization -------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer: one concatenated
+        buffer plus the offset table (the physical layout), the owner
+        column, and the tombstone count."""
+        return {
+            "buffer": "".join(self._buffer),
+            "offsets": list(self._offsets),
+            "owners": list(self._owners),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "ContentStore":
+        """Rebuild a heap from :meth:`to_snapshot` output, tombstones
+        (owner = -1) included."""
+        store = cls()
+        buffer = state["buffer"]
+        offsets = list(state["offsets"])
+        store._buffer = [buffer[offsets[i]:offsets[i + 1]]
+                         for i in range(len(offsets) - 1)]
+        store._offsets = offsets
+        store._owners = list(state["owners"])
+        store._dead = sum(1 for owner in store._owners if owner < 0)
+        return store
+
     # -- accounting ----------------------------------------------------------
 
     def size_bytes(self) -> int:

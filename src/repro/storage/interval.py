@@ -305,6 +305,62 @@ class IntervalDocument:
                 relabelled += 1
         return {"removed_nodes": removed, "relabelled": relabelled}
 
+    # -- serialization ---------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer.
+
+        Only the label columns (post, end, level, parent) are stored:
+        ``pre`` is the record's position, and tags / kinds / values are
+        shared with the succinct store (identical pre-order numbering),
+        so they are reconstructed from it at load time instead of being
+        written twice.
+        """
+        return {
+            "uri": self.uri,
+            "post": [record.post for record in self.nodes],
+            "end": [record.end for record in self.nodes],
+            "level": [record.level for record in self.nodes],
+            "parent": [record.parent for record in self.nodes],
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict,
+                      succinct) -> "IntervalDocument":
+        """Rebuild the shredded records verbatim, resolving tags, kinds
+        and leaf values through the (already restored) succinct store."""
+        document = cls()
+        document.uri = state["uri"]
+        posts, ends = state["post"], state["end"]
+        levels, parents = state["level"], state["parent"]
+        count = len(posts)
+        if count != succinct.node_count:
+            raise StorageError(
+                f"interval snapshot has {count} records but the succinct "
+                f"store holds {succinct.node_count} nodes")
+        # Batch columns: only content-bearing kinds appear in ``values``
+        # (attributes, text, comments, PIs), so a plain .get() resolves
+        # each record's value without per-node kind dispatch.  Records
+        # are materialised through ``__new__`` + one dict-literal
+        # assignment rather than the dataclass ``__init__`` — identical
+        # state, but the restore loop is the cold-open hot spot and a
+        # C-level dict build beats eight keyword arguments per node.
+        tags, kinds, values = succinct.columns()
+        nodes = document.nodes
+        append = nodes.append
+        value_get = values.get
+        new = IntervalNode.__new__
+        node_cls = IntervalNode
+        for pre in range(count):
+            record = new(node_cls)
+            record.__dict__ = {
+                "pre": pre, "post": posts[pre], "end": ends[pre],
+                "level": levels[pre], "parent": parents[pre],
+                "tag": tags[pre], "kind": kinds[pre],
+                "value": value_get(pre)}
+            append(record)
+        return document
+
     # -- accounting -----------------------------------------------------------------
 
     def size_bytes(self) -> dict[str, int]:

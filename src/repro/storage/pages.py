@@ -162,6 +162,11 @@ class PageManager:
         # only ever *continues* a cumulative counter — diff-based
         # per-query accounting stays exact.
         self._thread_counters: dict[int, IOCounters] = {}
+        # Counters folded out of _thread_counters when their thread
+        # died (see prune_dead_threads): keeps the dict bounded under
+        # thread churn without losing history, so the invariant
+        # ``threads_total() == counters`` keeps holding.
+        self._retired = IOCounters()
 
     # -- per-thread accounting --------------------------------------------------
 
@@ -180,12 +185,37 @@ class PageManager:
         per-query I/O reports (diff two of these around an execution)."""
         return self.thread_counters().snapshot()
 
-    def threads_total(self) -> dict[str, int]:
-        """Sum of every thread's counters (equals ``counters`` as long
-        as all charging goes through this manager — an invariant the
-        concurrency stress suite checks)."""
+    def prune_dead_threads(self) -> int:
+        """Fold the counters of dead threads into the retired bucket.
+
+        Every query thread that ever touched a page leaves an entry in
+        ``_thread_counters``; under thread churn (one pool per batch,
+        say) that dict grew without bound.  Folding — rather than
+        dropping — dead idents keeps the cumulative invariant
+        ``threads_total() == counters`` intact.  Returns the number of
+        entries retired.
+        """
+        alive = {thread.ident for thread in threading.enumerate()}
+        pruned = 0
         with self.io_lock:
-            totals = dict.fromkeys(COUNTER_FIELDS, 0)
+            for ident in [i for i in self._thread_counters
+                          if i not in alive]:
+                counters = self._thread_counters.pop(ident)
+                for field_name in COUNTER_FIELDS:
+                    setattr(self._retired, field_name,
+                            getattr(self._retired, field_name)
+                            + getattr(counters, field_name))
+                pruned += 1
+        return pruned
+
+    def threads_total(self) -> dict[str, int]:
+        """Sum of every thread's counters plus the retired bucket
+        (equals ``counters`` as long as all charging goes through this
+        manager — an invariant the concurrency stress suite checks).
+        Dead threads are pruned on the way."""
+        with self.io_lock:
+            self.prune_dead_threads()
+            totals = self._retired.snapshot()
             for counters in self._thread_counters.values():
                 for field_name in COUNTER_FIELDS:
                     totals[field_name] += getattr(counters, field_name)
@@ -252,7 +282,9 @@ class PageManager:
         reached into ``pool._pages.clear()`` directly, silently losing
         those writes.)"""
         with self.io_lock:
+            self.prune_dead_threads()
             self.counters.reset()
+            self._retired.reset()
             for counters in self._thread_counters.values():
                 counters.reset()
             before = self.counters.snapshot()

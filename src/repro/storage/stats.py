@@ -169,6 +169,79 @@ class DocumentStatistics:
                 fragmented.add(record.tag)
         self.fragmented_value_tags = fragmented
 
+    # -- serialization ----------------------------------------------------------
+
+    @staticmethod
+    def _columns(counter, arity: int) -> list[list]:
+        """Flatten a (possibly tuple-keyed) Counter into ``arity + 1``
+        parallel homogeneous columns — key parts first, counts last —
+        so the snapshot encoding's C-speed array paths apply instead of
+        a per-entry generic tuple/dict coding."""
+        columns: list[list] = [[] for _ in range(arity + 1)]
+        if arity == 1:
+            for key, count in counter.items():
+                columns[0].append(key)
+                columns[1].append(count)
+        else:
+            for key, count in counter.items():
+                for position in range(arity):
+                    columns[position].append(key[position])
+                columns[arity].append(count)
+        return columns
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer — every maintained
+        counter plus the generation stamp (the planner's strategy memos
+        are keyed by it, so restoring it keeps memo invalidation
+        monotonic across restarts).  Tuple-keyed counters are flattened
+        into parallel columns (see :meth:`_columns`): homogeneous str /
+        int lists round-trip through the binary format's array fast
+        paths at C speed."""
+        values_flat: list[list] = [[], [], []]
+        for tag, values in self.distinct_values.items():
+            for value, count in values.items():
+                values_flat[0].append(tag)
+                values_flat[1].append(value)
+                values_flat[2].append(count)
+        return {
+            "node_count": self.node_count,
+            "tag_counts": self._columns(self.tag_counts, 1),
+            "edge_counts": self._columns(self.edge_counts, 2),
+            "descendant_counts": self._columns(self.descendant_counts, 2),
+            "depth_histogram": self._columns(self.depth_histogram, 1),
+            "distinct_values": values_flat,
+            "max_depth": self.max_depth,
+            "fragmented_value_tags": sorted(self.fragmented_value_tags),
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "DocumentStatistics":
+        """Rebuild statistics verbatim — no accumulation pass."""
+        stats = cls.__new__(cls)
+        stats.node_count = state["node_count"]
+        tags, counts = state["tag_counts"]
+        stats.tag_counts = Counter(dict(zip(tags, counts)))
+        parents, children, counts = state["edge_counts"]
+        stats.edge_counts = Counter(
+            dict(zip(zip(parents, children), counts)))
+        ancestors, descendants, counts = state["descendant_counts"]
+        stats.descendant_counts = Counter(
+            dict(zip(zip(ancestors, descendants), counts)))
+        depths, counts = state["depth_histogram"]
+        stats.depth_histogram = Counter(dict(zip(depths, counts)))
+        distinct: dict[str, Counter] = {}
+        for tag, value, count in zip(*state["distinct_values"]):
+            bucket = distinct.get(tag)
+            if bucket is None:
+                bucket = distinct[tag] = Counter()
+            bucket[value] = count
+        stats.distinct_values = distinct
+        stats.max_depth = state["max_depth"]
+        stats.fragmented_value_tags = set(state["fragmented_value_tags"])
+        stats.generation = state["generation"]
+        return stats
+
     # -- estimators -------------------------------------------------------------
 
     def count(self, tag: str) -> int:

@@ -517,6 +517,58 @@ class SuccinctDocument:
             "content_dropped": dropped,
         }
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer: BP bits, tag-symbol
+        array, kind bytes, symbol table, content heap, and the
+        preorder→content mapping (as two parallel arrays)."""
+        owners = sorted(self._content_of)
+        return {
+            "uri": self.uri,
+            "bp": self.bp.bits.to_snapshot(),
+            "tags": list(self._tags),
+            "kinds": bytes(self._kinds),
+            "symbols": list(self._symbols),
+            "content_owners": owners,
+            "content_ids": [self._content_of[owner] for owner in owners],
+            "content": self._content.to_snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "SuccinctDocument":
+        """Rebuild a succinct store verbatim from :meth:`to_snapshot`
+        output — no event stream, no XML parsing."""
+        from repro.storage.bitvector import BitVector
+
+        store = cls()
+        store.uri = state["uri"]
+        store._bp = BalancedParens(BitVector.from_snapshot(state["bp"]))
+        store._tags = list(state["tags"])
+        store._kinds = bytearray(state["kinds"])
+        store._symbols = list(state["symbols"])
+        store._symbol_ids = {tag: symbol
+                             for symbol, tag in enumerate(store._symbols)}
+        store._content = ContentStore.from_snapshot(state["content"])
+        store._content_of = dict(zip(state["content_owners"],
+                                     state["content_ids"]))
+        if len(store._tags) != len(store._kinds):
+            raise StorageError(
+                "snapshot tag/kind arrays disagree in length")
+        return store
+
+    def columns(self) -> tuple[list[str], bytearray, dict[int, str]]:
+        """Batch view for restore paths: (resolved tag per preorder,
+        kind bytes, {preorder: content string}).  One pass over the
+        internal arrays instead of per-node ``tag()``/``kind()``/
+        ``text_of()`` calls (each of which bounds-checks)."""
+        symbols = self._symbols
+        tags = [symbols[symbol] for symbol in self._tags]
+        content = self._content
+        values = {pre: content.get(content_id)
+                  for pre, content_id in self._content_of.items()}
+        return tags, self._kinds, values
+
     # -- accounting --------------------------------------------------------------
 
     def size_bytes(self) -> dict[str, int]:

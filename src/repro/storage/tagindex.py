@@ -38,6 +38,30 @@ class TagIndex:
                 self._segments[tag] = pages.segment(
                     f"tagindex:{tag}", _POSTING_BYTES * len(postings))
 
+    @classmethod
+    def restore(cls, document: IntervalDocument,
+                postings: dict[str, list[int]],
+                pages: Optional[PageManager] = None) -> "TagIndex":
+        """Rebuild an index verbatim from a :meth:`postings_snapshot`.
+
+        The restored posting lists hold *references into*
+        ``document.nodes`` (exactly like a freshly built index), so the
+        interval store's in-place relabelling keeps them current after
+        future updates.  Used by snapshot recovery to bypass the full
+        construction scan.
+        """
+        index = cls.__new__(cls)
+        index._postings = {
+            tag: [document.nodes[pre] for pre in pres]
+            for tag, pres in postings.items()}
+        index._pages = pages
+        index._segments = {}
+        if pages is not None:
+            for tag, records in index._postings.items():
+                index._segments[tag] = pages.segment(
+                    f"tagindex:{tag}", _POSTING_BYTES * len(records))
+        return index
+
     def tags(self) -> list[str]:
         """All indexed tags."""
         return list(self._postings)

@@ -117,6 +117,47 @@ class ContentIndex:
             self.tree = self._bulk_build()
             self.compactions += 1
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Plain-data state for the durability layer: the sorted
+        ``(key, content_id)`` entries as two *parallel columns* — a
+        homogeneous key list (str for the string index, float for the
+        numeric one, so the binary format's array fast paths apply) and
+        an int content-id list — plus the tombstone accounting that
+        drives self-compaction.  Content ids stay valid because the
+        heap they address is serialized alongside."""
+        keys: list = []
+        content_ids: list = []
+        for key, content_id in self.tree.items():
+            keys.append(key)
+            content_ids.append(content_id)
+        return {
+            "numeric": self.numeric,
+            "keys": keys,
+            "content_ids": content_ids,
+            "dead_entries": self.dead_entries,
+            "live_entries": self._live_entries,
+            "compactions": self.compactions,
+        }
+
+    @classmethod
+    def restore(cls, store: ContentStore, state: dict,
+                segment: Optional[Segment] = None) -> "ContentIndex":
+        """Rebuild an index verbatim from :meth:`to_snapshot` output:
+        one bulk load zipping the parallel key/content-id columns,
+        skipping the constructor's content-heap scan entirely."""
+        index = cls.__new__(cls)
+        index.store = store
+        index.numeric = bool(state["numeric"])
+        index.segment = segment
+        index.dead_entries = state["dead_entries"]
+        index._live_entries = state["live_entries"]
+        index.compactions = state["compactions"]
+        index.tree = BPlusTree.bulk_load(
+            zip(state["keys"], state["content_ids"]), segment=segment)
+        return index
+
     # -- probes (the IndexScanMatcher contract) -----------------------------------
 
     def search(self, key: Any) -> list[int]:

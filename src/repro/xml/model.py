@@ -247,6 +247,18 @@ class _ParentNode(Node):
         self._invalidate()
         return child
 
+    def adopt(self, child: Node) -> Node:
+        """Bulk-construction fast path: append a *freshly created*,
+        detached child without validation or index invalidation.
+
+        Only for building a new tree bottom-up (snapshot recovery,
+        generators): the caller guarantees ``child`` has no parent and
+        the document is not yet indexed, so the O(depth) walk
+        ``_invalidate`` performs per append is pure waste."""
+        child.parent = self
+        self._children.append(child)
+        return child
+
     def insert(self, index: int, child: Node) -> Node:
         """Insert ``child`` before position ``index`` and return it."""
         if child.parent is not None:
@@ -360,6 +372,14 @@ class Element(_ParentNode):
         attr.parent = self
         self._attributes[name] = attr
         self._invalidate()
+        return attr
+
+    def adopt_attribute(self, name: str, value: str) -> "Attribute":
+        """Bulk-construction fast path for :meth:`set_attribute`: no
+        index invalidation (see :meth:`_ParentNode.adopt`)."""
+        attr = Attribute(name, value)
+        attr.parent = self
+        self._attributes[name] = attr
         return attr
 
     def get_attribute(self, name: str) -> Optional[str]:

@@ -1,0 +1,116 @@
+"""Fault-injection plumbing for the durability tests.
+
+:class:`FaultingFile` wraps a real file object and simulates the two
+crash modes that matter for a WAL:
+
+* **torn write** — after ``fail_after_bytes`` bytes have been written
+  through the wrapper, every further ``write`` raises
+  :class:`SimulatedCrash` *after* persisting only the prefix that fits
+  (a short write, exactly what a power cut mid-``write(2)`` leaves);
+* **lost fsync** — ``drop_fsync=True`` turns ``os.fsync`` into a no-op
+  flush, so "durable" bytes can still sit in the (simulated) page
+  cache when the crash happens.
+
+:func:`faulting_opener` builds an injectable opener for
+``Database.open(wal_opener=...)`` / ``snapshot_opener=...`` from one
+shared :class:`FaultBudget`, so a test can say "crash the process after
+the next N bytes of WAL traffic" and observe recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["SimulatedCrash", "FaultBudget", "FaultingFile",
+           "faulting_opener"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a FaultingFile when its write budget is exhausted."""
+
+
+class FaultBudget:
+    """A mutable byte budget shared by every file a test opens."""
+
+    def __init__(self, fail_after_bytes=None, drop_fsync: bool = False):
+        self.remaining = fail_after_bytes  # None = unlimited
+        self.drop_fsync = drop_fsync
+        self.crashed = False
+
+    def consume(self, want: int) -> int:
+        """Bytes allowed for this write; mark crash on exhaustion."""
+        if self.remaining is None:
+            return want
+        allowed = min(want, self.remaining)
+        self.remaining -= allowed
+        if allowed < want:
+            self.crashed = True
+        return allowed
+
+
+class FaultingFile:
+    """A binary file wrapper that dies after a byte budget runs out."""
+
+    def __init__(self, path, mode: str, budget: FaultBudget):
+        self._fh = open(path, mode)
+        self._budget = budget
+        self._null_fd = None
+
+    def write(self, data: bytes) -> int:
+        if self._budget.crashed:
+            raise SimulatedCrash("process already crashed")
+        allowed = self._budget.consume(len(data))
+        if allowed:
+            self._fh.write(data[:allowed])
+        if allowed < len(data):
+            # Persist the short prefix (the kernel had already accepted
+            # it) and then die: exactly a torn write.
+            self._fh.flush()
+            self._fh.close()
+            raise SimulatedCrash(
+                f"simulated crash after {allowed} of {len(data)} bytes")
+        return allowed
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def fileno(self) -> int:
+        if self._budget.drop_fsync:
+            # Hand out a throwaway scratch-file descriptor so the
+            # caller's ``os.fsync`` succeeds without making anything
+            # about *this* file durable.
+            if self._null_fd is None:
+                self._null_fd, scratch = tempfile.mkstemp()
+                os.unlink(scratch)
+            return self._null_fd
+        return self._fh.fileno()
+
+    def close(self) -> None:
+        if self._null_fd is not None:
+            os.close(self._null_fd)
+            self._null_fd = None
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "FaultingFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+
+def faulting_opener(budget: FaultBudget):
+    """An injectable ``(path, mode) -> file`` opener bound to one
+    budget."""
+
+    def opener(path: Path, mode: str) -> FaultingFile:
+        return FaultingFile(path, mode, budget)
+
+    return opener

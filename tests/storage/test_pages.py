@@ -107,3 +107,52 @@ class TestPageManager:
         pages = PageManager(page_size=100)
         assert pages.segment("a", 250).pages == 3
         assert pages.segment("b", 0).pages == 1
+
+    def test_prune_dead_threads_folds_into_retired(self):
+        import threading
+
+        pages = PageManager(page_size=100)
+        segment = pages.segment("s", 1000)
+
+        def worker():
+            pages.touch(segment, 0, 500)
+
+        for _ in range(8):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        pages.touch(segment, 0, 500)
+        total_before = pages.counters.snapshot()
+
+        assert len(pages._thread_counters) >= 2  # dead idents linger...
+        pruned = pages.prune_dead_threads()
+        assert pruned >= 1
+        # ...and afterwards only live threads keep private entries,
+        alive = {t.ident for t in threading.enumerate()}
+        assert set(pages._thread_counters) <= alive
+        # while the cumulative invariant still holds exactly.
+        assert pages.threads_total() == total_before
+        assert pages.threads_total() == pages.counters.snapshot()
+
+    def test_threads_total_prunes_and_reset_clears_retired(self):
+        import threading
+
+        pages = PageManager(page_size=100)
+        segment = pages.segment("s", 1000)
+        thread = threading.Thread(
+            target=lambda: pages.touch(segment, 0, 300))
+        thread.start()
+        thread.join()
+
+        # threads_total() itself prunes the dead ident.
+        totals = pages.threads_total()
+        assert totals == pages.counters.snapshot()
+        assert totals["page_reads"] > 0
+        alive = {t.ident for t in threading.enumerate()}
+        assert set(pages._thread_counters) <= alive
+
+        pages.reset()
+        zeroed = pages.threads_total()
+        assert all(zeroed[f] == 0 for f in ("logical_touches",
+                                            "pool_hits"))
+        assert pages.threads_total() == pages.counters.snapshot()
