@@ -70,17 +70,20 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
-    # E10-E12 follow the run(quick)/test_eN_report() shape (no
-    # benchmark fixture): serving-layer caches, concurrency, durability.
+    # E10-E13 follow the run(quick)/test_eN_report() shape (no
+    # benchmark fixture): serving-layer caches, concurrency, durability,
+    # observability overhead.
     from benchmarks import (
         bench_e10_query_cache,
         bench_e11_concurrency,
         bench_e12_durability,
+        bench_e13_observability,
     )
 
     for label, module in (("E10", bench_e10_query_cache),
                           ("E11", bench_e11_concurrency),
-                          ("E12", bench_e12_durability)):
+                          ("E12", bench_e12_durability),
+                          ("E13", bench_e13_observability)):
         print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
         module.run(quick=False)
 

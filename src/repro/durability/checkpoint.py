@@ -111,6 +111,10 @@ def write_checkpoint(manager, database) -> dict:
         "pruned_files": pruned,
         "snapshot_path": str(final),
     })
+    # Publish to the manager here (not only in its ``checkpoint``
+    # wrapper) so the ``repro_checkpoint_last_seconds`` gauge sees
+    # every path that writes a generation.
+    manager.last_checkpoint = report
     return report
 
 

@@ -71,7 +71,12 @@ class DurabilityManager:
         self.ops_since_checkpoint = 0
         self.checkpoints_written = 0
         self.records_logged = 0
+        self.bytes_logged = 0  # cumulative across WAL rotations
         self.last_recovery: Optional[dict] = None
+        self.last_checkpoint: Optional[dict] = None
+        # Optional: set by the owning Database so WAL appends and
+        # checkpoints show up as spans in its trace buffer.
+        self.tracer = None
 
     # -- file plumbing ------------------------------------------------------------
 
@@ -102,7 +107,15 @@ class DurabilityManager:
         the write-ahead invariant."""
         if self.replaying or self.wal is None:
             return
-        self.wal.append(record)
+        if self.tracer is not None:
+            with self.tracer.span("wal.append",
+                                  op=record.get("op")) as span:
+                frame_bytes = self.wal.append(record)
+                if span.is_recording:
+                    span.set(bytes=frame_bytes)
+        else:
+            frame_bytes = self.wal.append(record)
+        self.bytes_logged += frame_bytes or 0
         self.records_logged += 1
         self.ops_since_checkpoint += 1
 
@@ -118,7 +131,17 @@ class DurabilityManager:
 
     def checkpoint(self, database) -> dict:
         """Write the next snapshot generation and rotate the WAL."""
-        return write_checkpoint(self, database)
+        if self.tracer is not None:
+            with self.tracer.span("checkpoint") as span:
+                report = write_checkpoint(self, database)
+                if span.is_recording:
+                    span.set(generation=report.get("generation"),
+                             elapsed_seconds=report.get(
+                                 "elapsed_seconds"))
+        else:
+            report = write_checkpoint(self, database)
+        self.last_checkpoint = report
+        return report
 
     # -- reporting ----------------------------------------------------------------
 
@@ -130,6 +153,7 @@ class DurabilityManager:
             "fsync": self.fsync,
             "keep_generations": self.keep_generations,
             "records_logged": self.records_logged,
+            "bytes_logged": self.bytes_logged,
             "ops_since_checkpoint": self.ops_since_checkpoint,
             "checkpoints_written": self.checkpoints_written,
             "wal_bytes": 0 if self.wal is None else self.wal.size_bytes,

@@ -179,6 +179,17 @@ class WriteAheadLog:
         self.bytes_appended += len(frame)
         return len(frame)
 
+    def stats(self) -> dict:
+        """Per-instance append accounting (resets on rotation — the
+        durability manager keeps the cross-rotation cumulative figures
+        that feed ``repro_wal_records_total``/``repro_wal_bytes_total``)."""
+        return {
+            "path": str(self.path),
+            "records_appended": self.records_appended,
+            "bytes_appended": self.bytes_appended,
+            "size_bytes": self.size_bytes,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<WriteAheadLog {self.path.name} "
                 f"appended={self.records_appended}>")

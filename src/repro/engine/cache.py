@@ -129,6 +129,13 @@ class CacheStats:
             "invalidations": self.invalidations,
         }
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup) — the figure the
+        observability layer's cache panel exports."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
 
 class LRUCache:
     """A size-bounded, **thread-safe** LRU map with counter accounting.
@@ -203,6 +210,7 @@ class LRUCache:
             report = self.stats.snapshot()
             report["entries"] = len(self._entries)
             report["capacity"] = self.capacity
+            report["hit_rate"] = self.stats.hit_rate
             return report
 
 

@@ -27,6 +27,7 @@ engine, storage, physical — can use it without import cycles.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
 __all__ = ["RWLock"]
@@ -56,13 +57,19 @@ class RWLock:
     ``False`` instead of blocking forever).
     """
 
-    def __init__(self):
+    def __init__(self, observer=None):
         self._cond = threading.Condition()
         self._active_readers = 0       # threads in a read section
         self._waiting_writers = 0      # threads blocked in acquire_write
         self._writer_ident = None      # ident of the active writer
         self._writer_depth = 0         # writer reentrancy depth
         self._local = threading.local()  # per-thread read depth
+        # Optional wait-time observer: ``observer(mode, waited_seconds)``
+        # with mode in ("read", "write"), called after every successful
+        # first-level acquisition (outside the internal condition, so
+        # the callback may itself take locks).  The engine wires this to
+        # the ``repro_lock_wait_seconds`` histogram.
+        self.observer = observer
 
     # -- per-thread bookkeeping ------------------------------------------------
 
@@ -83,6 +90,8 @@ class RWLock:
             self._set_read_depth(depth + 1)
             return True
         me = threading.get_ident()
+        started = time.perf_counter()
+        waited = None
         with self._cond:
             if self._writer_ident == me:
                 # A read section nested in our own exclusive section:
@@ -98,7 +107,11 @@ class RWLock:
             self._active_readers += 1
             self._local.counted = True
             self._set_read_depth(1)
-            return True
+            if self.observer is not None:
+                waited = time.perf_counter() - started
+        if waited is not None:
+            self.observer("read", waited)
+        return True
 
     def release_read(self) -> None:
         """Leave the innermost read section."""
@@ -121,6 +134,8 @@ class RWLock:
     def acquire_write(self, timeout: float | None = None) -> bool:
         """Enter the exclusive section; returns ``False`` on timeout."""
         me = threading.get_ident()
+        started = time.perf_counter()
+        waited = None
         with self._cond:
             if self._writer_ident == me:
                 self._writer_depth += 1
@@ -140,7 +155,11 @@ class RWLock:
                 self._waiting_writers -= 1
             self._writer_ident = me
             self._writer_depth = 1
-            return True
+            if self.observer is not None:
+                waited = time.perf_counter() - started
+        if waited is not None:
+            self.observer("write", waited)
+        return True
 
     def release_write(self) -> None:
         """Leave the innermost write section."""
@@ -191,6 +210,16 @@ class RWLock:
         """Whether any thread currently holds the write side."""
         with self._cond:
             return self._writer_ident is not None
+
+    def holders(self) -> dict:
+        """One consistent snapshot of who holds/awaits the lock — the
+        lock-contention panel of ``Database.observability_report()``."""
+        with self._cond:
+            return {
+                "active_readers": self._active_readers,
+                "waiting_writers": self._waiting_writers,
+                "writer_held": self._writer_ident is not None,
+            }
 
     def held_by_me(self) -> str:
         """``"write"``, ``"read"``, or ``""`` for the calling thread."""

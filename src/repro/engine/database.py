@@ -103,6 +103,8 @@ from repro.engine.mapping import (
     storage_node_list,
     storage_preorder_map,
 )
+from repro.observability import Observability
+from repro.observability.analyze import ExplainAnalysis
 from repro.physical.base import MatchRuntime
 from repro.physical.planner import STRATEGIES, PhysicalPlanner
 from repro.xquery.parser import parse_xquery
@@ -192,7 +194,11 @@ class Database:
     def __init__(self, page_size: int = 4096, pool_pages: int = 256,
                  plan_cache_size: int = 128,
                  result_cache_size: int = 256,
-                 debug_checks: bool = False):
+                 debug_checks: bool = False,
+                 trace_sample: float = 0.0,
+                 trace_capacity: int = 512,
+                 slow_query_seconds: float = 0.25,
+                 slow_log_capacity: int = 128):
         self.pages = PageManager(page_size=page_size, pool_pages=pool_pages)
         self.documents: dict[str, LoadedDocument] = {}
         self._default_uri: Optional[str] = None
@@ -203,10 +209,20 @@ class Database:
         self._load_epoch = 0
         # Set by Database.open(); None = a purely in-memory database.
         self.durability: Optional[DurabilityManager] = None
+        # Tracing + metrics + slow-query log.  ``trace_sample`` is the
+        # fraction of queries traced (0.0 = off: the hot path sees only
+        # a couple of attribute checks); the metrics registry mirrors
+        # every layer's counters as collection-time pull metrics.
+        self.observability = Observability(
+            trace_sample=trace_sample, trace_capacity=trace_capacity,
+            slow_query_seconds=slow_query_seconds,
+            slow_log_capacity=slow_log_capacity)
         # Queries take the read side; load/insert/delete/rebuild take
         # the write side.  Writer-preferring so a stream of cached reads
-        # cannot starve updates.
-        self.rwlock = RWLock()
+        # cannot starve updates.  The observer feeds the lock-wait
+        # histograms (repro_lock_wait_seconds).
+        self.rwlock = RWLock(observer=self.observability.on_lock_wait)
+        self.observability.bind_database(self)
 
     # -- durability ---------------------------------------------------------------
 
@@ -235,6 +251,7 @@ class Database:
             keep_generations=keep_generations, wal_opener=wal_opener,
             snapshot_opener=snapshot_opener)
         database.durability = manager
+        manager.tracer = database.observability.tracer
         with database.rwlock.write_locked():
             manager.attach(database)
         return database
@@ -451,7 +468,19 @@ class Database:
 
     def _compiled_plan(self, text: str):
         """``(plan, was_cache_hit)`` through the plan cache."""
-        return self.plan_cache.get_or_compile(text, self.compile_text)
+        return self.plan_cache.get_or_compile(text, self._compile_traced)
+
+    def _compile_traced(self, text: str):
+        """:meth:`compile_text` wrapped in parse/translate/rewrite
+        spans (only runs on a plan-cache miss)."""
+        tracer = self.observability.tracer
+        with tracer.span("compile", query=text[:120]):
+            with tracer.span("parse"):
+                ast = parse_xquery(text)
+            with tracer.span("translate"):
+                plan = backward_translate(ast)
+            with tracer.span("rewrite"):
+                return rewrite_plan(plan)
 
     def prepare(self, text: str) -> PreparedQuery:
         """Compile ``text`` once and return a reusable
@@ -535,49 +564,90 @@ class Database:
                 f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
         started = time.perf_counter()
         cacheable = not variables
-        with self.rwlock.read_locked():
-            stamp = self._generation_stamp()
-            key = ResultCache.key(text, strategy,
-                                  uri or self._default_uri)
-            if cacheable:
-                cached = self.result_cache.lookup(key, stamp)
-                if cached is not None:
-                    items, used_strategy = cached
-                    stats = {"nodes_visited": 0, "postings_scanned": 0,
-                             "intermediate_results": 0,
-                             "structural_joins": 0,
-                             "solutions": len(items)}
-                    stats["cache"] = self._cache_info(
-                        plan="hit" if plan_hit else "miss", result="hit")
-                    return QueryResult(
-                        items=items, strategy=used_strategy,
-                        elapsed_seconds=time.perf_counter() - started,
-                        stats=stats,
-                        io={k: 0 for k in
-                            self.pages.thread_snapshot()})
-            context = self._execution_context(uri, strategy,
-                                              variables=variables)
-            # Snapshot-and-diff the calling thread's *own* I/O counters
-            # (the seed diffed — and before that reset — the shared
-            # ones, which races under concurrent queries).
-            io_before = self.pages.thread_snapshot()
-            items = run_plan(plan, context)
-            elapsed = time.perf_counter() - started
-            io_after = self.pages.thread_snapshot()
-            if cacheable:
-                self.result_cache.store(key, stamp, items,
-                                        context.last_strategy)
-        stats = context.accumulated_stats.snapshot()
-        stats["cache"] = self._cache_info(
-            plan="hit" if plan_hit else "miss",
-            result="miss" if cacheable else "bypass")
-        return QueryResult(
-            items=items,
-            strategy=context.last_strategy,
-            elapsed_seconds=elapsed,
-            stats=stats,
-            io={k: io_after[k] - io_before[k] for k in io_after},
-        )
+        observability = self.observability
+        with observability.tracer.span("query", strategy=strategy) \
+                as query_span:
+            with self.rwlock.read_locked():
+                stamp = self._generation_stamp()
+                key = ResultCache.key(text, strategy,
+                                      uri or self._default_uri)
+                if cacheable:
+                    cached = self.result_cache.lookup(key, stamp)
+                    if cached is not None:
+                        items, used_strategy = cached
+                        stats = {"nodes_visited": 0,
+                                 "postings_scanned": 0,
+                                 "intermediate_results": 0,
+                                 "structural_joins": 0,
+                                 "solutions": len(items)}
+                        stats["cache"] = self._cache_info(
+                            plan="hit" if plan_hit else "miss",
+                            result="hit")
+                        elapsed = time.perf_counter() - started
+                        if query_span.is_recording:
+                            query_span.set(source="result-cache",
+                                           rows=len(items))
+                        observability.observe_query(
+                            elapsed, strategy=used_strategy,
+                            source="result-cache", text=text,
+                            io={}, stats=stats, span=query_span)
+                        return QueryResult(
+                            items=items, strategy=used_strategy,
+                            elapsed_seconds=elapsed,
+                            stats=stats,
+                            io={k: 0 for k in
+                                self.pages.thread_snapshot()})
+                context = self._execution_context(uri, strategy,
+                                                  variables=variables)
+                # Snapshot-and-diff the calling thread's *own* I/O
+                # counters (the seed diffed — and before that reset —
+                # the shared ones, which races under concurrent
+                # queries).  The diff runs in ``finally`` so a raising
+                # executor still settles the thread's I/O ledger (the
+                # seed skipped it, leaving the next query on this
+                # thread to inherit the orphaned counts).
+                io_before = self.pages.thread_snapshot()
+                io_delta: dict = {}
+                error: Optional[BaseException] = None
+                try:
+                    with observability.tracer.span("execute"):
+                        items = run_plan(plan, context)
+                except Exception as exc:
+                    error = exc
+                finally:
+                    elapsed = time.perf_counter() - started
+                    io_after = self.pages.thread_snapshot()
+                    io_delta = {k: io_after[k] - io_before[k]
+                                for k in io_after}
+                if error is not None:
+                    if query_span.is_recording:
+                        query_span.set(
+                            error=type(error).__name__)
+                    observability.record_query_error(
+                        error, text=text, elapsed_seconds=elapsed,
+                        io=io_delta)
+                    raise error
+                if cacheable:
+                    self.result_cache.store(key, stamp, items,
+                                            context.last_strategy)
+            stats = context.accumulated_stats.snapshot()
+            stats["cache"] = self._cache_info(
+                plan="hit" if plan_hit else "miss",
+                result="miss" if cacheable else "bypass")
+            if query_span.is_recording:
+                query_span.set(source="execute", rows=len(items),
+                               physical_strategy=context.last_strategy)
+            observability.observe_query(
+                elapsed, strategy=context.last_strategy or strategy,
+                source="execute", text=text, io=io_delta, stats=stats,
+                span=query_span)
+            return QueryResult(
+                items=items,
+                strategy=context.last_strategy,
+                elapsed_seconds=elapsed,
+                stats=stats,
+                io=io_delta,
+            )
 
     def _cache_info(self, plan: str, result: str) -> dict:
         """The per-query cache report embedded in ``QueryResult.stats``:
@@ -589,6 +659,16 @@ class Database:
             "plan_cache": self.plan_cache.report(),
             "result_cache": self.result_cache.report(),
         }
+
+    def observability_report(self) -> dict:
+        """Tracing, slow-query, error, and metric state in one dict
+        (see :class:`repro.observability.Observability`)."""
+        return self.observability.report()
+
+    def metrics_text(self) -> str:
+        """Every registered metric in Prometheus text exposition
+        format (``MetricsRegistry.render_prometheus``)."""
+        return self.observability.render_prometheus()
 
     def cache_report(self) -> dict:
         """Counters and occupancy of every serving-layer cache."""
@@ -635,9 +715,20 @@ class Database:
                                    context_node=context_node)
 
     def explain(self, text: str, strategy: str = "auto",
-                uri: Optional[str] = None) -> str:
+                uri: Optional[str] = None,
+                analyze: bool = False) -> Union[str, ExplainAnalysis]:
         """The logical plan, the chosen physical strategy per τ, and the
-        cost estimates."""
+        cost estimates.
+
+        With ``analyze=True`` the plan is additionally *executed* with
+        per-operator instrumentation: the returned
+        :class:`~repro.observability.analyze.ExplainAnalysis` carries,
+        for every τ, the planner's estimated cardinality and page cost
+        next to the measured rows, nodes visited, postings scanned,
+        pages read, and wall time (``str()`` renders the table).  The
+        analyzed execution bypasses the result cache so the actuals
+        reflect real operator work.
+        """
         plan, _ = self._compiled_plan(text)
         lines = [explain_plan(plan)]
         with self.rwlock.read_locked():
@@ -646,8 +737,28 @@ class Database:
             planner = PhysicalPlanner(cost_model,
                                       choice_memo=document.strategy_memo,
                                       memo_lock=document.memo_lock)
-            return self._explain_walk(plan, lines, planner, cost_model,
-                                      strategy)
+            plan_text = self._explain_walk(plan, lines, planner,
+                                           cost_model, strategy)
+            if not analyze:
+                return plan_text
+            context = self._execution_context(uri, strategy)
+            context.analyze_records = []
+            io_before = self.pages.thread_snapshot()
+            started = time.perf_counter()
+            with self.observability.tracer.span("explain.analyze",
+                                                query=text[:120]):
+                items = run_plan(plan, context)
+            elapsed = time.perf_counter() - started
+            io_after = self.pages.thread_snapshot()
+        self.observability.explain_analyze_total.inc()
+        return ExplainAnalysis(
+            plan_text=plan_text,
+            operators=context.analyze_records,
+            result_rows=len(items),
+            elapsed_seconds=elapsed,
+            io={k: io_after[k] - io_before[k] for k in io_after},
+            strategy=context.last_strategy,
+            text=text)
 
     def _explain_walk(self, plan, lines: list, planner: PhysicalPlanner,
                       cost_model: CostModel, strategy: str) -> str:

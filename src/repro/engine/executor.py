@@ -22,6 +22,7 @@ any number of contexts may execute concurrently.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.errors import ExecutionError
@@ -33,6 +34,7 @@ from repro.algebra.plan import (
     Tau,
     execute_plan,
 )
+from repro.observability.tracing import NULL_SPAN
 from repro.physical.base import OperatorStats
 
 __all__ = ["PhysicalExecutionContext", "run_plan"]
@@ -51,6 +53,10 @@ class PhysicalExecutionContext(ExecutionContext):
         # (FLWOR clause sources) report into the same query record.
         self._shared = {"last_strategy": None}
         self.accumulated_stats = OperatorStats()
+        # EXPLAIN ANALYZE hook: when the database sets this to a list,
+        # run_tau appends one OperatorRecord per executed τ (estimates
+        # from the cost model next to measured rows/pages/time).
+        self.analyze_records: Optional[list] = None
 
     @property
     def last_strategy(self) -> Optional[str]:
@@ -70,6 +76,7 @@ class PhysicalExecutionContext(ExecutionContext):
         child.strategy = self.strategy
         child._shared = self._shared
         child.accumulated_stats = self.accumulated_stats
+        child.analyze_records = self.analyze_records
         return child
 
     # -- physical tau ------------------------------------------------------------
@@ -85,24 +92,94 @@ class PhysicalExecutionContext(ExecutionContext):
             raise ExecutionError(
                 f"document {getattr(tree, 'uri', '?')!r} has no storage "
                 "(loaded outside the database?)")
+        analyzing = self.analyze_records is not None
+        observability = getattr(self.database, "observability", None)
+        tracer = observability.tracer if observability is not None \
+            else None
         # The planner carries the document's persistent strategy memo:
         # repeated executions of a hot pattern skip the cost model.
-        planner = self.database.planner_for(loaded)
+        with (tracer.span("plan") if tracer is not None else NULL_SPAN):
+            planner = self.database.planner_for(loaded)
         outputs = plan.pattern.output_vertices()
-        if len(outputs) == 1:
-            matches, stats, used = planner.match(
-                plan.pattern, loaded.runtime, root=0,
-                strategy=self.strategy)
-        else:
-            bindings, stats = planner.match_bindings(
-                plan.pattern, loaded.runtime, root=0)
-            matches = sorted({node for binding in bindings
-                              for node in binding.values()})
-            used = "nok"
+        span = (tracer.span("execute.tau") if tracer is not None
+                else NULL_SPAN)
+        if analyzing:
+            io_before = self.database.pages.thread_snapshot()
+            tau_started = time.perf_counter()
+        with span:
+            if len(outputs) == 1:
+                matches, stats, used = planner.match(
+                    plan.pattern, loaded.runtime, root=0,
+                    strategy=self.strategy)
+            else:
+                bindings, stats = planner.match_bindings(
+                    plan.pattern, loaded.runtime, root=0)
+                matches = sorted({node for binding in bindings
+                                  for node in binding.values()})
+                used = "nok"
+            if span.is_recording:
+                span.set(strategy=used, rows=len(matches),
+                         pattern=_tau_label(plan.pattern))
         self.last_strategy = used
         self.accumulated_stats.merge(stats)
         self.accumulated_stats.solutions += stats.solutions
-        return [loaded.node_for(preorder) for preorder in matches]
+        if analyzing:
+            self._record_analysis(plan, planner, loaded, stats, used,
+                                  len(matches), io_before, tau_started)
+        # "construct": pre-order ids become model nodes for the rest of
+        # the (storage-agnostic) plan.
+        with (tracer.span("construct") if tracer is not None
+              else NULL_SPAN):
+            return [loaded.node_for(preorder) for preorder in matches]
+
+    def _record_analysis(self, plan: Tau, planner, loaded, stats,
+                         used: str, rows: int, io_before: dict,
+                         tau_started: float) -> None:
+        """Append one EXPLAIN ANALYZE record for an executed τ."""
+        from repro.observability.analyze import OperatorRecord
+
+        elapsed = time.perf_counter() - tau_started
+        io_after = self.database.pages.thread_snapshot()
+        cost_model = planner.cost_model
+        est_rows = 0.0
+        est_pages = None
+        if cost_model is not None:
+            try:
+                est_rows = cost_model.result_cardinality(plan.pattern)
+                for estimate in cost_model.all_costs(plan.pattern):
+                    if estimate.strategy == used:
+                        est_pages = estimate.pages
+                        break
+            except Exception:
+                pass  # estimates are best-effort; actuals still matter
+        self.analyze_records.append(OperatorRecord(
+            operator=_tau_label(plan.pattern),
+            strategy=used,
+            est_rows=est_rows,
+            est_pages=est_pages,
+            actual_rows=rows,
+            nodes_visited=stats.nodes_visited,
+            postings_scanned=stats.postings_scanned,
+            intermediate_results=stats.intermediate_results,
+            structural_joins=stats.structural_joins,
+            pages_read=(io_after.get("page_reads", 0)
+                        - io_before.get("page_reads", 0)),
+            pool_hits=(io_after.get("pool_hits", 0)
+                       - io_before.get("pool_hits", 0)),
+            elapsed_seconds=elapsed,
+            detail=dict(stats.detail),
+        ))
+
+
+def _tau_label(pattern) -> str:
+    """A one-line operator name for spans and EXPLAIN ANALYZE rows."""
+    try:
+        outputs = [v for v in pattern.vertices.values() if v.output]
+        label = outputs[0].label_text() if outputs else "?"
+    except Exception:
+        label = "?"
+    return (f"tau[{label}; {len(pattern.vertices)}v"
+            f"/{len(pattern.edges)}e]")
 
 
 def run_plan(plan: PlanNode, context: PhysicalExecutionContext):

@@ -1,0 +1,42 @@
+"""Engine-wide observability: tracing spans, metrics, slow-query log.
+
+The subsystem is dependency-free (standard library only) and imported
+by every layer — engine, storage, durability — without cycles:
+
+* :mod:`repro.observability.tracing` — nested, thread-safe spans with
+  per-trace sampling and a bounded ring buffer;
+* :mod:`repro.observability.metrics` — counters, gauges, fixed-bucket
+  histograms, Prometheus-text and JSON exporters;
+* :mod:`repro.observability.slowlog` — bounded slow-query and
+  query-error journals;
+* :mod:`repro.observability.analyze` — the EXPLAIN ANALYZE report
+  (per-operator estimates vs actuals);
+* :mod:`repro.observability.facade` — the per-database bundle that
+  wires every layer's counters into one ``repro_*`` namespace.
+"""
+
+from repro.observability.analyze import ExplainAnalysis, OperatorRecord
+from repro.observability.facade import Observability
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.slowlog import QueryErrorLog, SlowQueryLog
+from repro.observability.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "ExplainAnalysis",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "OperatorRecord",
+    "QueryErrorLog",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,144 @@
+"""EXPLAIN ANALYZE report structures.
+
+``Database.explain(text, analyze=True)`` runs the physical plan for
+real, with every τ (the physical pattern-matching operators) wrapped in
+instrumentation: the planner's *estimates* (cardinality from the cost
+model, page cost of the chosen strategy) are recorded next to the
+*actuals* (output rows, nodes visited, posting entries scanned, pages
+touched, wall time), so estimate-vs-actual drift is visible per
+operator — the feedback signal the planner work on the ROADMAP needs.
+
+:class:`OperatorRecord` is one instrumented operator execution;
+:class:`ExplainAnalysis` is the whole report.  ``str(analysis)``
+renders the classic table::
+
+    operator                       strategy    est.rows  rows  pages  time
+    Tau[NoK, 3 vertices, out=t]    nok         12.4      11    3      0.8ms
+
+``analysis.operators`` carries the raw records for programmatic use
+(tests, the planner-feedback trajectory, dashboards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["OperatorRecord", "ExplainAnalysis"]
+
+
+@dataclass
+class OperatorRecord:
+    """One instrumented physical-operator (τ) execution."""
+
+    operator: str                 # the plan node's describe() text
+    strategy: str                 # physical strategy actually used
+    est_rows: float               # cost-model result cardinality
+    est_pages: Optional[float]    # cost-model page estimate (if costed)
+    actual_rows: int              # output cardinality
+    nodes_visited: int
+    postings_scanned: int
+    intermediate_results: int
+    structural_joins: int
+    pages_read: int               # buffer-pool misses charged to this τ
+    pool_hits: int
+    elapsed_seconds: float
+    detail: dict = field(default_factory=dict)  # per-operator extras
+
+    @property
+    def rows_drift(self) -> float:
+        """``actual / estimate`` (∞-safe); 1.0 means a perfect guess."""
+        if self.est_rows <= 0:
+            return float("inf") if self.actual_rows else 1.0
+        return self.actual_rows / self.est_rows
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "strategy": self.strategy,
+            "est_rows": self.est_rows,
+            "est_pages": self.est_pages,
+            "actual_rows": self.actual_rows,
+            "nodes_visited": self.nodes_visited,
+            "postings_scanned": self.postings_scanned,
+            "intermediate_results": self.intermediate_results,
+            "structural_joins": self.structural_joins,
+            "pages_read": self.pages_read,
+            "pool_hits": self.pool_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "rows_drift": self.rows_drift,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class ExplainAnalysis:
+    """The full EXPLAIN ANALYZE report (``str()`` renders the table)."""
+
+    plan_text: str                # the logical plan, explain_plan-style
+    operators: list               # list[OperatorRecord], execution order
+    result_rows: int              # final result cardinality
+    elapsed_seconds: float        # whole-query wall time
+    io: dict = field(default_factory=dict)       # per-query I/O diff
+    strategy: Optional[str] = None               # last strategy used
+    text: Optional[str] = None                   # the query text
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "strategy": self.strategy,
+            "result_rows": self.result_rows,
+            "elapsed_seconds": self.elapsed_seconds,
+            "io": dict(self.io),
+            "operators": [record.to_dict() for record in self.operators],
+        }
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _format_row(self, record: OperatorRecord) -> list[str]:
+        est_pages = ("-" if record.est_pages is None
+                     else f"{record.est_pages:.1f}")
+        return [
+            record.operator,
+            record.strategy,
+            f"{record.est_rows:.1f}",
+            str(record.actual_rows),
+            f"{record.rows_drift:.2f}x"
+            if record.rows_drift != float("inf") else "inf",
+            est_pages,
+            str(record.pages_read),
+            str(record.nodes_visited),
+            str(record.postings_scanned),
+            f"{record.elapsed_seconds * 1e3:.3f}ms",
+        ]
+
+    def render(self) -> str:
+        headers = ["operator", "strategy", "est.rows", "rows", "drift",
+                   "est.pages", "pages", "nodes", "postings", "time"]
+        rows = [self._format_row(record) for record in self.operators]
+        widths = [max(len(headers[i]),
+                      max((len(row[i]) for row in rows), default=0))
+                  for i in range(len(headers))]
+        lines = [self.plan_text, "", "EXPLAIN ANALYZE"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers,
+                                                          widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row,
+                                                              widths)))
+        io_pages = self.io.get("page_reads", 0)
+        io_hits = self.io.get("pool_hits", 0)
+        lines.append("")
+        lines.append(
+            f"total: {self.result_rows} rows in "
+            f"{self.elapsed_seconds * 1e3:.3f}ms; "
+            f"{io_pages} pages read, {io_hits} pool hits")
+        for record in self.operators:
+            if record.detail:
+                detail = ", ".join(f"{key}={value}" for key, value
+                                   in sorted(record.detail.items()))
+                lines.append(f"  {record.operator}: {detail}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,249 @@
+"""The per-database observability facade.
+
+One :class:`Observability` object bundles the three primitives —
+:class:`~repro.observability.tracing.Tracer`,
+:class:`~repro.observability.metrics.MetricsRegistry`,
+:class:`~repro.observability.slowlog.SlowQueryLog` (plus the error
+journal) — creates the engine's core instruments, and *binds* the
+existing per-layer counters (plan/result caches, page manager, RW
+lock, WAL/checkpoint accounting) into the registry as pull metrics, so
+the whole engine exports one coherent ``repro_*`` namespace without
+any layer paying per-operation mirroring costs.
+
+The module imports nothing from the engine/storage layers: binding is
+duck-typed against the ``Database`` attributes, which keeps the
+dependency direction strictly ``engine -> observability``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slowlog import QueryErrorLog, SlowQueryLog
+from repro.observability.tracing import Tracer
+
+__all__ = ["Observability"]
+
+# Wait-time buckets for lock acquisition (seconds): contention shows up
+# in the sub-millisecond to tens-of-milliseconds range here.
+LOCK_WAIT_BUCKETS = (0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01,
+                     0.05, 0.1, 0.5, 1.0)
+
+
+class Observability:
+    """Tracing + metrics + slow-query log for one database."""
+
+    def __init__(self, trace_sample: float = 0.0,
+                 trace_capacity: int = 512,
+                 slow_query_seconds: float = 0.25,
+                 slow_log_capacity: int = 128,
+                 error_log_capacity: int = 64):
+        self.tracer = Tracer(sample_rate=trace_sample,
+                             capacity=trace_capacity)
+        self.registry = MetricsRegistry()
+        self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds,
+                                     capacity=slow_log_capacity)
+        self.error_log = QueryErrorLog(capacity=error_log_capacity)
+
+        registry = self.registry
+        self.query_latency = registry.histogram(
+            "repro_query_latency_seconds",
+            "Wall time of Database.query executions (cache hits "
+            "included).")
+        self.queries_total = registry.counter(
+            "repro_queries_total",
+            "Queries served, by physical strategy and result source.",
+            labelnames=("strategy", "source"))
+        self.query_errors_total = registry.counter(
+            "repro_query_errors_total",
+            "Queries that raised, by exception class.",
+            labelnames=("exception",))
+        self.lock_wait = registry.histogram(
+            "repro_lock_wait_seconds",
+            "RWLock acquisition wait time, by side.",
+            buckets=LOCK_WAIT_BUCKETS,
+            labelnames=("mode",))
+        self.explain_analyze_total = registry.counter(
+            "repro_explain_analyze_total",
+            "EXPLAIN ANALYZE executions.")
+
+    # -- hot-path hooks (called by the engine) -----------------------------------
+
+    def observe_query(self, elapsed_seconds: float, strategy: str,
+                      source: str, text: str, io: dict, stats: dict,
+                      span=None) -> None:
+        """Record one finished query: latency histogram, throughput
+        counter, and (over threshold) a slow-query log entry carrying
+        the span tree when tracing sampled this query."""
+        self.query_latency.observe(elapsed_seconds)
+        self.queries_total.inc(1, strategy=str(strategy), source=source)
+        if elapsed_seconds >= self.slow_log.threshold_seconds:
+            trace = None
+            if span is not None and getattr(span, "is_recording", False):
+                trace = span.to_dict()
+            self.slow_log.maybe_record(
+                elapsed_seconds, text=text, strategy=strategy,
+                source=source, io=dict(io), stats=dict(stats),
+                trace=trace)
+
+    def record_query_error(self, exception: BaseException, text: str,
+                           elapsed_seconds: float, io: dict) -> None:
+        """Count + journal one failed execution (the I/O it consumed is
+        preserved here so it never leaks out of every ledger)."""
+        self.query_errors_total.inc(
+            1, exception=type(exception).__name__)
+        self.error_log.record(exception, text=text,
+                              elapsed_seconds=elapsed_seconds,
+                              io=dict(io))
+
+    def on_lock_wait(self, mode: str, waited_seconds: float) -> None:
+        """RWLock observer callback (see ``RWLock.observer``)."""
+        self.lock_wait.observe(waited_seconds, mode=mode)
+
+    # -- binding existing layer counters -----------------------------------------
+
+    def bind_database(self, database) -> None:
+        """Register pull metrics over the database's live counters.
+
+        Everything here is evaluated at *collection* time only — the
+        query hot path never touches these.
+        """
+        registry = self.registry
+
+        def cache_stat(stat: str):
+            def pull() -> dict:
+                return {
+                    "plan": database.plan_cache.report().get(stat, 0),
+                    "result": database.result_cache.report().get(stat, 0),
+                }
+            return pull
+
+        for stat, kind in (("hits", "counter"), ("misses", "counter"),
+                           ("evictions", "counter"),
+                           ("invalidations", "counter"),
+                           ("entries", "gauge")):
+            registry.register_pull(
+                f"repro_cache_{stat}" + ("_total" if kind == "counter"
+                                         else ""),
+                kind, f"Serving-layer cache {stat}, by cache.",
+                cache_stat(stat), labelnames=("cache",))
+
+        pages = database.pages
+        for metric_name, field_name, help_text in (
+                ("repro_pages_read_total", "page_reads",
+                 "Buffer-pool misses (device reads)."),
+                ("repro_pages_written_total", "page_writes",
+                 "Dirty pages written back."),
+                ("repro_pool_hits_total", "pool_hits",
+                 "Touches satisfied from the pool."),
+                ("repro_logical_touches_total", "logical_touches",
+                 "Byte-range touches requested.")):
+            registry.register_pull(
+                metric_name, "counter", help_text,
+                (lambda f=field_name:
+                 getattr(pages.counters, f)))
+        registry.register_pull(
+            "repro_buffer_pool_pages", "gauge",
+            "Pages resident in the buffer pool.",
+            lambda: len(pages.pool))
+        registry.register_pull(
+            "repro_buffer_pool_capacity", "gauge",
+            "Buffer pool capacity in pages.",
+            lambda: pages.pool.capacity)
+
+        lock = database.rwlock
+        registry.register_pull(
+            "repro_lock_readers", "gauge",
+            "Threads currently in a read section.",
+            lambda: lock.active_readers)
+        registry.register_pull(
+            "repro_lock_waiting_writers", "gauge",
+            "Threads blocked waiting for the write side.",
+            lambda: lock.waiting_writers)
+        registry.register_pull(
+            "repro_lock_writer_held", "gauge",
+            "Whether the write side is held (0/1).",
+            lambda: 1 if lock.write_held else 0)
+
+        registry.register_pull(
+            "repro_documents_loaded", "gauge",
+            "Documents currently loaded.",
+            lambda: len(database.documents))
+        registry.register_pull(
+            "repro_document_nodes", "gauge",
+            "Storage nodes per loaded document.",
+            lambda: {uri: doc.succinct.node_count
+                     for uri, doc in database.documents.items()},
+            labelnames=("uri",))
+
+        registry.register_pull(
+            "repro_slow_queries_total", "counter",
+            "Queries recorded in the slow-query log.",
+            lambda: self.slow_log.recorded_total)
+        registry.register_pull(
+            "repro_traces_finished_total", "counter",
+            "Traces recorded into the ring buffer.",
+            lambda: self.tracer.traces_finished)
+        registry.register_pull(
+            "repro_spans_started_total", "counter",
+            "Spans started (sampled traces only).",
+            lambda: self.tracer.spans_started)
+        registry.register_pull(
+            "repro_trace_buffer_spans", "gauge",
+            "Root spans currently buffered.",
+            lambda: len(self.tracer.finished_traces()))
+
+        # Durability counters: guarded, because ``database.durability``
+        # is None for in-memory databases and only set by
+        # ``Database.open`` after construction.
+        def durability_stat(fn, default=0):
+            def pull():
+                manager = database.durability
+                return default if manager is None else fn(manager)
+            return pull
+
+        registry.register_pull(
+            "repro_wal_records_total", "counter",
+            "Logical WAL records appended.",
+            durability_stat(lambda m: m.records_logged))
+        registry.register_pull(
+            "repro_wal_bytes_total", "counter",
+            "WAL bytes appended (across rotations).",
+            durability_stat(lambda m: getattr(m, "bytes_logged", 0)))
+        registry.register_pull(
+            "repro_wal_size_bytes", "gauge",
+            "Current WAL file size.",
+            durability_stat(
+                lambda m: 0 if m.wal is None else m.wal.size_bytes))
+        registry.register_pull(
+            "repro_checkpoints_total", "counter",
+            "Checkpoints written.",
+            durability_stat(lambda m: m.checkpoints_written))
+        registry.register_pull(
+            "repro_checkpoint_last_seconds", "gauge",
+            "Wall time of the most recent checkpoint.",
+            durability_stat(
+                lambda m: (m.last_checkpoint or {}).get(
+                    "elapsed_seconds", 0.0)
+                if hasattr(m, "last_checkpoint") else 0.0))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> dict:
+        """The aggregate panel behind ``Database.observability_report``."""
+        return {
+            "tracing": self.tracer.report(),
+            "slow_queries": {
+                **self.slow_log.report(),
+                "recent": self.slow_log.entries(limit=16),
+            },
+            "errors": {
+                "recorded_total": self.error_log.recorded_total,
+                "recent": self.error_log.entries(limit=16),
+            },
+            "metrics": self.registry.snapshot(),
+        }
+
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()

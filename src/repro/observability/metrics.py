@@ -1,0 +1,481 @@
+"""Counters, gauges, fixed-bucket histograms, and a metrics registry.
+
+One :class:`MetricsRegistry` per database aggregates every layer's
+counters into a single namespace (``repro_*``) and renders them either
+as the Prometheus text exposition format (:meth:`render_prometheus`)
+or as a JSON-friendly dict (:meth:`snapshot`).
+
+Two kinds of instruments exist:
+
+* **push** instruments — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` created via ``registry.counter(...)`` etc.; hot
+  paths call ``inc``/``set``/``observe`` directly.
+* **pull** metrics — ``registry.register_pull(name, kind, help, fn)``
+  wraps an existing counter that some layer already maintains (cache
+  hit counts, page-manager totals, WAL bytes...).  ``fn`` is evaluated
+  at *collection* time only, so mirroring a legacy counter into the
+  registry costs the hot path nothing.
+
+All instruments are label-aware (``counter.inc(1, strategy="nok")``)
+and thread-safe (one lock per instrument; the registry lock only guards
+the instrument table and collection).
+
+The module depends on the standard library only.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS"]
+
+# Prometheus-style latency buckets (seconds); chosen to straddle this
+# engine's observed query times (tens of microseconds to seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelValues = tuple  # tuple of label values, parallel to labelnames
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames: Sequence[str], values: LabelValues,
+                 extra: Optional[str] = None) -> str:
+    parts = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in zip(labelnames, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _normalize_key(labelnames: Sequence[str], labels: dict) -> LabelValues:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared labelnames "
+            f"{sorted(labelnames)}")
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Instrument:
+    """Common plumbing: name, help, labelnames, per-instrument lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    # Rendering helpers implemented by subclasses:
+    def render(self) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def snapshot(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        return [f"# HELP {self.name} {_escape_help(self.help)}",
+                f"# TYPE {self.name} {self.kind}"]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[LabelValues, float] = {}
+
+    def inc(self, amount: Union[int, float] = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0)]
+        for key, value in items:
+            lines.append(f"{self.name}"
+                         f"{_labels_text(self.labelnames, key)} "
+                         f"{_format_value(value)}")
+        return lines
+
+    def snapshot(self):
+        with self._lock:
+            if not self.labelnames:
+                return self._values.get((), 0)
+            return {key: value for key, value
+                    in sorted(self._values.items())}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (or be computed at collect time)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[LabelValues, float] = {}
+        self._fn: Optional[Callable[[], Union[float, dict]]] = None
+
+    def set(self, value: Union[int, float], **labels) -> None:
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: Union[int, float] = 1, **labels) -> None:
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: Union[int, float] = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], Union[float, dict]]) -> None:
+        """Evaluate ``fn`` at collection time instead of storing values.
+
+        With labelnames, ``fn`` must return ``{label-values-tuple:
+        value}`` (a plain value is accepted for a single label name).
+        """
+        self._fn = fn
+
+    def _collected(self) -> dict[LabelValues, float]:
+        if self._fn is not None:
+            produced = self._fn()
+            if isinstance(produced, dict):
+                return {key if isinstance(key, tuple) else (str(key),):
+                        value for key, value in produced.items()}
+            return {(): produced}
+        with self._lock:
+            return dict(self._values)
+
+    def value(self, **labels) -> float:
+        key = _normalize_key(self.labelnames, labels)
+        return self._collected().get(key, 0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        items = sorted(self._collected().items())
+        if not items and not self.labelnames:
+            items = [((), 0)]
+        for key, value in items:
+            lines.append(f"{self.name}"
+                         f"{_labels_text(self.labelnames, key)} "
+                         f"{_format_value(value)}")
+        return lines
+
+    def snapshot(self):
+        collected = self._collected()
+        if not self.labelnames:
+            return collected.get((), 0)
+        return dict(sorted(collected.items()))
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket histogram (cumulative buckets + sum + count)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = tuple(bounds)  # +Inf bucket is implicit
+        # label values -> ([per-bucket counts..., +Inf count], sum)
+        self._series: dict[LabelValues, list] = {}
+
+    def _series_for(self, key: LabelValues) -> list:
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * (len(self.bounds) + 1), 0.0]
+            self._series[key] = series
+        return series
+
+    def observe(self, value: Union[int, float], **labels) -> None:
+        key = _normalize_key(self.labelnames, labels)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            series = self._series_for(key)
+            series[0][index] += 1
+            series[1] += value
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted((key, ([list(counts), total]))
+                           for key, (counts, total)
+                           in self._series.items())
+        if not items and not self.labelnames:
+            items = [((), [[0] * (len(self.bounds) + 1), 0.0])]
+        for key, (counts, total) in items:
+            cumulative = 0
+            for bound, count in zip(self.bounds, counts):
+                cumulative += count
+                extra = f'le="{_format_value(bound)}"'
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_labels_text(self.labelnames, key, extra)} "
+                    f"{cumulative}")
+            cumulative += counts[-1]
+            inf_extra = 'le="+Inf"'
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_labels_text(self.labelnames, key, inf_extra)} "
+                f"{cumulative}")
+            lines.append(f"{self.name}_sum"
+                         f"{_labels_text(self.labelnames, key)} "
+                         f"{_format_value(total)}")
+            lines.append(f"{self.name}_count"
+                         f"{_labels_text(self.labelnames, key)} "
+                         f"{cumulative}")
+        return lines
+
+    def snapshot(self):
+        with self._lock:
+            out = {}
+            for key, (counts, total) in sorted(self._series.items()):
+                out[key] = {
+                    "buckets": {
+                        _format_value(bound): count
+                        for bound, count in zip(self.bounds, counts)},
+                    "inf": counts[-1],
+                    "sum": total,
+                    "count": sum(counts),
+                }
+            if not self.labelnames:
+                return out.get((), {"buckets": {}, "inf": 0,
+                                    "sum": 0.0, "count": 0})
+            return out
+
+    def count(self, **labels) -> int:
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0 if series is None else sum(series[0])
+
+    def sum(self, **labels) -> float:
+        key = _normalize_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else series[1]
+
+
+class _PullMetric(_Instrument):
+    """Wraps a live counter some layer already maintains.
+
+    ``fn`` runs at collection time and returns either a plain number or
+    a ``{label-values: number}`` dict when labelnames were declared.
+    Exceptions inside ``fn`` render the metric as absent rather than
+    failing the whole scrape.
+    """
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 fn: Callable[[], Union[float, dict]],
+                 labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        if kind not in ("counter", "gauge"):
+            raise ValueError("pull metrics must be counter or gauge")
+        self.kind = kind
+        self._fn = fn
+
+    def _collected(self) -> Optional[dict[LabelValues, float]]:
+        try:
+            produced = self._fn()
+        except Exception:
+            return None
+        if isinstance(produced, dict):
+            return {key if isinstance(key, tuple) else (str(key),):
+                    value for key, value in produced.items()}
+        return {(): produced}
+
+    def value(self, **labels) -> float:
+        key = _normalize_key(self.labelnames, labels)
+        collected = self._collected()
+        return 0 if collected is None else collected.get(key, 0)
+
+    def render(self) -> list[str]:
+        collected = self._collected()
+        if collected is None:
+            return []
+        lines = self._header()
+        for key, value in sorted(collected.items()):
+            lines.append(f"{self.name}"
+                         f"{_labels_text(self.labelnames, key)} "
+                         f"{_format_value(value)}")
+        return lines
+
+    def snapshot(self):
+        collected = self._collected()
+        if collected is None:
+            return None
+        if not self.labelnames:
+            return collected.get((), 0)
+        return dict(sorted(collected.items()))
+
+
+class MetricsRegistry:
+    """The engine-wide metric namespace with both exporters.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument (a kind or labelname
+    mismatch raises).  ``register_pull`` mirrors an existing counter at
+    collection time.
+    """
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -- creation ----------------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def _check(self, instrument: _Instrument, cls,
+               labelnames: Sequence[str]) -> _Instrument:
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {instrument.name!r} already registered as "
+                f"{instrument.kind}")
+        if tuple(labelnames) != instrument.labelnames:
+            raise ValueError(
+                f"metric {instrument.name!r} labelnames mismatch: "
+                f"{instrument.labelnames} vs {tuple(labelnames)}")
+        return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        made = self._get_or_create(
+            name, lambda: Counter(name, help_text, labelnames))
+        return self._check(made, Counter, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        made = self._get_or_create(
+            name, lambda: Gauge(name, help_text, labelnames))
+        return self._check(made, Gauge, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                  labelnames: Sequence[str] = ()) -> Histogram:
+        made = self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets, labelnames))
+        return self._check(made, Histogram, labelnames)
+
+    def register_pull(self, name: str, kind: str, help_text: str,
+                      fn: Callable[[], Union[float, dict]],
+                      labelnames: Sequence[str] = ()) -> None:
+        """Mirror a live counter/gauge; ``fn`` runs at collection time.
+        Re-registering a name replaces the previous puller (a database
+        re-binding its layers)."""
+        with self._lock:
+            self._instruments[name] = _PullMetric(name, kind, help_text,
+                                                  fn, labelnames)
+
+    def unregister(self, name: str) -> bool:
+        with self._lock:
+            return self._instruments.pop(name, None) is not None
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def value(self, name: str, **labels) -> float:
+        """Convenience: the current value of a counter/gauge/pull."""
+        instrument = self.get(name)
+        if instrument is None:
+            raise KeyError(name)
+        return instrument.value(**labels)  # type: ignore[attr-defined]
+
+    # -- exporters ---------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            instruments = [self._instruments[name]
+                           for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict:
+        """JSON-friendly ``{name: {kind, help, value}}``."""
+        with self._lock:
+            instruments = [self._instruments[name]
+                           for name in sorted(self._instruments)]
+        out = {}
+        for instrument in instruments:
+            value = instrument.snapshot()
+            if isinstance(value, dict):
+                value = {"|".join(key) if isinstance(key, tuple) else key:
+                         inner for key, inner in value.items()}
+            out[instrument.name] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "value": value,
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self._instruments)} metrics>"

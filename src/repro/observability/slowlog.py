@@ -1,0 +1,113 @@
+"""The slow-query log: a bounded deque of over-threshold executions.
+
+Queries whose wall time exceeds ``threshold_seconds`` are recorded with
+their normalized text, chosen strategy, elapsed time, per-query I/O and
+operator stats, and (when tracing sampled the query) the full span
+tree.  The deque is bounded, so a pathological workload can never grow
+the log without limit — the oldest entries fall out first.
+
+The same structure doubles as the engine's error journal:
+:class:`QueryErrorLog` keeps the last N failed executions (exception
+class, message, normalized text, the I/O the failed run consumed) so
+``repro_query_errors_total`` has a drill-down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = ["SlowQueryLog", "QueryErrorLog"]
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe journal of slow queries."""
+
+    def __init__(self, threshold_seconds: float = 0.25,
+                 capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("slow-query log needs capacity >= 1")
+        self.threshold_seconds = float(threshold_seconds)
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded_total = 0
+
+    def set_threshold(self, seconds: float) -> None:
+        self.threshold_seconds = float(seconds)
+
+    def maybe_record(self, elapsed_seconds: float, **fields) -> bool:
+        """Record when over threshold; returns whether it recorded."""
+        if elapsed_seconds < self.threshold_seconds:
+            return False
+        entry = {"elapsed_seconds": elapsed_seconds,
+                 "recorded_at": time.time()}
+        entry.update(fields)
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded_total += 1
+        return True
+
+    def entries(self, limit: Optional[int] = None) -> list[dict]:
+        """Slow queries, most recent last (optionally the last N)."""
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "recorded_total": self.recorded_total,
+            }
+
+
+class QueryErrorLog:
+    """Bounded, thread-safe journal of failed query executions."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("error log needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded_total = 0
+
+    def record(self, exception: BaseException, **fields) -> dict:
+        entry = {"exception": type(exception).__name__,
+                 "message": str(exception),
+                 "recorded_at": time.time()}
+        entry.update(fields)
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded_total += 1
+        return entry
+
+    def entries(self, limit: Optional[int] = None) -> list[dict]:
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -13,7 +13,7 @@ from posting lists, intermediate-result sizes, join count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import ExecutionError
@@ -29,19 +29,33 @@ __all__ = ["OperatorStats", "MatchRuntime", "single_output_vertex"]
 
 @dataclass
 class OperatorStats:
-    """Metrics one strategy run accumulates."""
+    """Metrics one strategy run accumulates.
+
+    ``detail`` carries free-form per-operator counters (per-tag posting
+    sizes, partition counts, B+ tree probes...) that each physical
+    strategy notes via :meth:`note`; EXPLAIN ANALYZE surfaces them next
+    to the estimate-vs-actual table.  The fixed counters keep their
+    exact seed semantics (``snapshot`` is unchanged).
+    """
 
     nodes_visited: int = 0          # storage nodes touched by navigation
     postings_scanned: int = 0       # posting-list entries consumed
     intermediate_results: int = 0   # entries in intermediate lists
     structural_joins: int = 0       # binary structural joins performed
     solutions: int = 0              # final output size
+    detail: dict = field(default_factory=dict)  # per-strategy extras
+
+    def note(self, key: str, amount: int = 1) -> None:
+        """Accumulate one named per-operator detail counter."""
+        self.detail[key] = self.detail.get(key, 0) + amount
 
     def merge(self, other: "OperatorStats") -> None:
         self.nodes_visited += other.nodes_visited
         self.postings_scanned += other.postings_scanned
         self.intermediate_results += other.intermediate_results
         self.structural_joins += other.structural_joins
+        for key, value in other.detail.items():
+            self.detail[key] = self.detail.get(key, 0) + value
 
     def snapshot(self) -> dict[str, int]:
         return {

@@ -60,6 +60,7 @@ class IndexScanMatcher:
         vertex = self._target
         owners = self._probe(runtime, vertex)
         self.stats.postings_scanned += len(owners)
+        self.stats.note("index.owners", len(owners))
 
         self._check_probe_is_lossless(runtime, vertex)
         candidates = []

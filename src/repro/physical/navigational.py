@@ -43,11 +43,14 @@ class NavigationalMatcher:
         """Distinct pre-order ids matching the output vertex."""
         output_vertex = single_output_vertex(self.pattern)
         results: set[int] = set()
+        bindings_enumerated = 0
         for binding in self._match(runtime, self.pattern.root, root):
+            bindings_enumerated += 1
             node = binding.get(output_vertex.vertex_id)
             if node is not None:
                 results.add(node)
         output = sorted(results)
+        self.stats.note("nav.bindings", bindings_enumerated)
         self.stats.solutions = len(output)
         return output
 

@@ -122,6 +122,7 @@ class NoKMatcher:
         allocated along paths whose tags match the pattern.
         """
         runtime.charge_structure_scan()
+        self.stats.note("nok.structure_scans")
         succinct = runtime.succinct
         tags = succinct._tags
         node_kinds = succinct._kinds

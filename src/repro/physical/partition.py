@@ -143,6 +143,8 @@ class PartitionedMatcher:
         matchers = [NoKMatcher(partition.pattern,
                                anchored=partition.cut_edge is None)
                     for partition in self.partitions]
+        self.stats.note("partitions", len(self.partitions))
+        self.stats.note("nok.shared_scans")
         binding_lists = run_shared_scan(runtime, matchers, root=root)
         # One scan: count its node visits once, candidate work per
         # matcher.

@@ -81,6 +81,10 @@ class PathStackJoin:
             if vertex_id == output_vertex.vertex_id)
 
         streams = self._open_streams(runtime, root)
+        for (vertex_id, _), stream in zip(self._chain, streams):
+            self.stats.note(
+                f"stream.{pattern.vertices[vertex_id].label_text()}",
+                len(stream))
         positions = [0] * len(streams)
         stacks: list[list[_StackEntry]] = [[] for _ in self._chain]
         results: set[int] = set()

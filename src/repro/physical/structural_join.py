@@ -52,6 +52,7 @@ class StackTreeJoin:
         """All matching (left, right) pairs, right side in document
         order."""
         self.stats.structural_joins += 1
+        self.stats.note(f"join.{self.relation}")
         if self.relation == REL_SIBLING:
             return self._sibling_pairs(ancestors, descendants)
         output: list[tuple[IntervalNode, IntervalNode]] = []
@@ -208,6 +209,8 @@ class BinaryJoinMatcher:
                 kept.append(record)
             candidates[vertex_id] = kept
             self.stats.intermediate_results += len(kept)
+            self.stats.note(f"candidates.{vertex.label_text()}",
+                            len(kept))
         return candidates
 
     @staticmethod

@@ -166,6 +166,7 @@ class TwigStackJoin:
                 kept.append(record)
             streams[vertex_id] = kept
             positions[vertex_id] = 0
+            self.stats.note(f"stream.{vertex.label_text()}", len(kept))
         return streams, positions
 
     # -- refine (merge) ------------------------------------------------------------------

@@ -295,3 +295,17 @@ class PageManager:
         """All registered segments."""
         with self.io_lock:
             return list(self._segments.values())
+
+    def report(self) -> dict:
+        """Cumulative I/O counters plus buffer-pool occupancy — one
+        consistent snapshot for monitoring (the observability layer's
+        ``repro_pages_*`` / ``repro_buffer_pool_*`` pull metrics read
+        the same fields individually)."""
+        with self.io_lock:
+            return {
+                **self.counters.snapshot(),
+                "pool_pages": len(self.pool),
+                "pool_capacity": self.pool.capacity,
+                "segments": len(self._segments),
+                "page_size": self.page_size,
+            }

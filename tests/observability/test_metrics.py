@@ -1,0 +1,249 @@
+"""MetricsRegistry unit tests: instruments, pull metrics, the JSON
+snapshot, and a golden test + format validator for the Prometheus text
+exposition output."""
+
+import re
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+# -- a minimal exposition-format validator --------------------------------------
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\"" \
+         r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\}"
+SAMPLE_LINE = re.compile(
+    rf"^{METRIC_NAME}(?:{LABELS})? "
+    r"(?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?)|\+Inf|-Inf|NaN)$")
+HELP_LINE = re.compile(rf"^# HELP {METRIC_NAME} .*$")
+TYPE_LINE = re.compile(
+    rf"^# TYPE {METRIC_NAME} (counter|gauge|histogram|summary|untyped)$")
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every line is a valid HELP/TYPE/sample line; TYPE precedes the
+    samples of its metric; the text ends with a newline."""
+    assert text.endswith("\n")
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP"):
+            assert HELP_LINE.match(line), line
+        elif line.startswith("# TYPE"):
+            assert TYPE_LINE.match(line), line
+            typed.add(line.split()[2])
+        else:
+            assert SAMPLE_LINE.match(line), line
+            name = re.match(METRIC_NAME, line).group(0)
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert name in typed or base in typed, \
+                f"sample {name} before its TYPE"
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labels(self):
+        counter = Counter("c_total", "help", labelnames=("kind",))
+        counter.inc(1, kind="a")
+        counter.inc(5, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 5
+        assert counter.value(kind="missing") == 0
+
+    def test_negative_rejected(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("c_total", "help", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(1, wrong="x")
+        with pytest.raises(ValueError):
+            counter.inc(1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_collect_time_function(self):
+        gauge = Gauge("g", "help")
+        state = {"value": 1}
+        gauge.set_function(lambda: state["value"])
+        assert gauge.value() == 1
+        state["value"] = 7
+        assert gauge.value() == 7
+
+
+class TestHistogram:
+    def test_observe_and_count(self):
+        histogram = Histogram("h", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+
+    def test_cumulative_buckets_rendering(self):
+        histogram = Histogram("h", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        rendered = "\n".join(histogram.render())
+        assert 'h_bucket{le="0.1"} 1' in rendered
+        assert 'h_bucket{le="1"} 2' in rendered
+        assert 'h_bucket{le="+Inf"} 3' in rendered
+        assert "h_count 3" in rendered
+
+    def test_boundary_value_is_inclusive(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        histogram.observe(1.0)
+        rendered = "\n".join(histogram.render())
+        assert 'h_bucket{le="1"} 1' in rendered
+
+    def test_labelled_series(self):
+        histogram = Histogram("h", "help", buckets=(1.0,),
+                              labelnames=("mode",))
+        histogram.observe(0.5, mode="read")
+        histogram.observe(2.0, mode="write")
+        assert histogram.count(mode="read") == 1
+        assert histogram.count(mode="write") == 1
+        assert histogram.count(mode="other") == 0
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total", "help")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "help")
+
+    def test_labelname_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "help", labelnames=("b",))
+
+    def test_pull_metric(self):
+        registry = MetricsRegistry()
+        state = {"n": 3}
+        registry.register_pull("pulled_total", "counter", "help",
+                               lambda: state["n"])
+        assert registry.value("pulled_total") == 3
+        state["n"] = 9
+        assert registry.value("pulled_total") == 9
+
+    def test_pull_metric_failure_renders_absent(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("source gone")
+
+        registry.register_pull("broken_total", "counter", "help", broken)
+        assert "broken_total" not in registry.render_prometheus()
+        assert registry.snapshot()["broken_total"]["value"] is None
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        assert registry.unregister("x_total")
+        assert not registry.unregister("x_total")
+        assert registry.get("x_total") is None
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", "help").inc(2)
+        labelled = registry.counter("by_kind_total", "help",
+                                    labelnames=("kind",))
+        labelled.inc(1, kind="a")
+        snapshot = registry.snapshot()
+        assert snapshot["plain_total"]["value"] == 2
+        assert snapshot["by_kind_total"]["value"] == {"a": 1}
+
+    def test_thread_safety_of_counter(self):
+        counter = Counter("c_total", "help")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+
+
+class TestPrometheusExposition:
+    def test_golden_output(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_queries_total", "Queries served.",
+            labelnames=("strategy",)).inc(3, strategy="nok")
+        registry.gauge("repro_documents_loaded",
+                       "Documents currently loaded.").set(1)
+        histogram = registry.histogram(
+            "repro_query_latency_seconds", "Query wall time.",
+            buckets=(0.001, 0.01))
+        histogram.observe(0.0005)
+        histogram.observe(0.005)
+        expected = "\n".join([
+            "# HELP repro_documents_loaded Documents currently loaded.",
+            "# TYPE repro_documents_loaded gauge",
+            "repro_documents_loaded 1",
+            "# HELP repro_queries_total Queries served.",
+            "# TYPE repro_queries_total counter",
+            'repro_queries_total{strategy="nok"} 3',
+            "# HELP repro_query_latency_seconds Query wall time.",
+            "# TYPE repro_query_latency_seconds histogram",
+            'repro_query_latency_seconds_bucket{le="0.001"} 1',
+            'repro_query_latency_seconds_bucket{le="0.01"} 2',
+            'repro_query_latency_seconds_bucket{le="+Inf"} 2',
+            "repro_query_latency_seconds_sum 0.0055",
+            "repro_query_latency_seconds_count 2",
+        ]) + "\n"
+        assert registry.render_prometheus() == expected
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "help",
+                                   labelnames=("text",))
+        counter.inc(1, text='say "hi"\nback\\slash')
+        rendered = registry.render_prometheus()
+        assert (r'x_total{text="say \"hi\"\nback\\slash"} 1'
+                in rendered)
+        assert_valid_exposition(rendered)
+
+    def test_validator_accepts_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help").inc()
+        registry.gauge("b", "help").set(2.5)
+        registry.histogram("c_seconds", "help", buckets=(1.0,)) \
+            .observe(0.5)
+        registry.register_pull("d_total", "counter", "help", lambda: 7)
+        assert_valid_exposition(registry.render_prometheus())

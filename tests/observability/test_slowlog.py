@@ -1,0 +1,83 @@
+"""SlowQueryLog / QueryErrorLog unit tests: threshold behaviour,
+bounded capacity, and the report shapes."""
+
+import pytest
+
+from repro.observability.slowlog import QueryErrorLog, SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_threshold(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert not log.maybe_record(0.05, text="fast")
+        assert log.maybe_record(0.15, text="slow")
+        assert len(log) == 1
+        [entry] = log.entries()
+        assert entry["text"] == "slow"
+        assert entry["elapsed_seconds"] == pytest.approx(0.15)
+        assert entry["recorded_at"] > 0
+
+    def test_threshold_is_inclusive(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert log.maybe_record(0.1, text="edge")
+
+    def test_capacity_bound(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+        for index in range(10):
+            log.maybe_record(1.0, text=f"q{index}")
+        assert len(log) == 3
+        assert [e["text"] for e in log.entries()] == ["q7", "q8", "q9"]
+        assert log.recorded_total == 10
+
+    def test_entries_limit_and_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=10)
+        for index in range(5):
+            log.maybe_record(1.0, text=f"q{index}")
+        assert [e["text"] for e in log.entries(limit=2)] == ["q3", "q4"]
+        log.clear()
+        assert log.entries() == []
+        assert log.recorded_total == 5  # the counter survives a clear
+
+    def test_set_threshold(self):
+        log = SlowQueryLog(threshold_seconds=10.0)
+        assert not log.maybe_record(1.0)
+        log.set_threshold(0.5)
+        assert log.maybe_record(1.0)
+
+    def test_report(self):
+        log = SlowQueryLog(threshold_seconds=0.25, capacity=8)
+        log.maybe_record(1.0, text="q")
+        assert log.report() == {
+            "threshold_seconds": 0.25,
+            "capacity": 8,
+            "entries": 1,
+            "recorded_total": 1,
+        }
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestQueryErrorLog:
+    def test_record(self):
+        log = QueryErrorLog()
+        entry = log.record(ValueError("bad input"), text="//x")
+        assert entry["exception"] == "ValueError"
+        assert entry["message"] == "bad input"
+        assert entry["text"] == "//x"
+        assert len(log) == 1
+
+    def test_capacity_bound(self):
+        log = QueryErrorLog(capacity=2)
+        for index in range(5):
+            log.record(RuntimeError(str(index)))
+        assert len(log) == 2
+        assert [e["message"] for e in log.entries()] == ["3", "4"]
+        assert log.recorded_total == 5
+
+    def test_clear(self):
+        log = QueryErrorLog()
+        log.record(RuntimeError("x"))
+        log.clear()
+        assert log.entries() == []

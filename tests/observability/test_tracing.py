@@ -1,0 +1,182 @@
+"""Tracer unit tests: nesting, the ring buffer bound, sampling (off,
+full, fractional — no torn traces), and cross-thread independence."""
+
+import random
+import threading
+
+import pytest
+
+from repro.observability.tracing import NULL_SPAN, Span, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("root") as root:
+            with tracer.span("child-a") as a:
+                with tracer.span("leaf") as leaf:
+                    pass
+            with tracer.span("child-b"):
+                pass
+        traces = tracer.finished_traces()
+        assert len(traces) == 1
+        tree = traces[0]
+        assert tree is root
+        assert [c.name for c in tree.children] == ["child-a", "child-b"]
+        assert [c.name for c in tree.children[0].children] == ["leaf"]
+        assert leaf.parent_id == a.span_id
+        assert a.trace_id == root.trace_id == leaf.trace_id
+
+    def test_attributes_and_find(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("query", strategy="auto") as span:
+            span.set("rows", 42)
+            span.set(source="execute", extra=1)
+            with tracer.span("execute"):
+                pass
+        assert span.attributes["strategy"] == "auto"
+        assert span.attributes["rows"] == 42
+        assert span.attributes["source"] == "execute"
+        assert span.find("execute").name == "execute"
+        assert span.find("missing") is None
+
+    def test_duration_and_dict_export(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("timed"):
+            pass
+        [trace] = tracer.export()
+        assert trace["name"] == "timed"
+        assert trace["duration_seconds"] >= 0.0
+        assert trace["children"] == []
+
+    def test_exception_annotates_error(self):
+        tracer = Tracer(sample_rate=1.0)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        [trace] = tracer.finished_traces()
+        assert trace.attributes["error"] == "ValueError"
+
+    def test_current_span(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+        assert tracer.current_span() is None
+
+
+class TestRingBuffer:
+    def test_bounded(self):
+        tracer = Tracer(sample_rate=1.0, capacity=4)
+        for index in range(10):
+            with tracer.span(f"trace-{index}"):
+                pass
+        traces = tracer.finished_traces()
+        assert len(traces) == 4
+        assert [t.name for t in traces] == [
+            "trace-6", "trace-7", "trace-8", "trace-9"]
+        assert tracer.traces_dropped == 6
+        assert tracer.traces_finished == 10
+
+    def test_clear(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("one"):
+            pass
+        tracer.clear()
+        assert tracer.finished_traces() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSampling:
+    def test_off_returns_null_span(self):
+        tracer = Tracer(sample_rate=0.0)
+        span = tracer.span("query")
+        assert not span.is_recording
+        with span:
+            # Children inside an unsampled trace are no-ops too.
+            child = tracer.span("execute")
+            assert not child.is_recording
+        assert tracer.finished_traces() == []
+        assert tracer.spans_started == 0
+
+    def test_full_rate_records_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        for _ in range(5):
+            with tracer.span("query"):
+                with tracer.span("execute"):
+                    pass
+        assert tracer.traces_finished == 5
+        assert tracer.spans_started == 10
+
+    def test_fractional_sampling_never_tears_traces(self):
+        tracer = Tracer(sample_rate=0.5, rng=random.Random(42))
+        for _ in range(200):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    with tracer.span("leaf"):
+                        pass
+        traces = tracer.finished_traces()
+        # Some but not all sampled, and every buffered trace is a full
+        # tree rooted at "root" — no orphan "child"/"leaf" roots.
+        assert 0 < tracer.traces_finished < 200
+        assert all(t.name == "root" for t in traces)
+        assert all(t.children[0].name == "child" for t in traces)
+
+    def test_set_sample_rate(self):
+        tracer = Tracer(sample_rate=0.0)
+        tracer.set_sample_rate(1.0)
+        with tracer.span("now-sampled"):
+            pass
+        assert tracer.traces_finished == 1
+
+
+class TestThreads:
+    def test_per_thread_stacks_stay_independent(self):
+        tracer = Tracer(sample_rate=1.0)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker(name: str) -> None:
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(50):
+                    with tracer.span(f"root-{name}") as root:
+                        with tracer.span(f"inner-{name}") as inner:
+                            assert inner.trace_id == root.trace_id
+                            assert inner.parent_id == root.span_id
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(str(i),))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        traces = tracer.finished_traces()
+        assert tracer.traces_finished == 200
+        for trace in traces:
+            suffix = trace.name.split("-", 1)[1]
+            assert [c.name for c in trace.children] == [f"inner-{suffix}"]
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set("k", 1) is span
+            assert span.to_dict() == {}
+            assert span.find("anything") is None
+            assert span.duration_seconds == 0.0
+
+    def test_real_span_repr(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.span("x") as span:
+            pass
+        assert isinstance(span, Span)
+        assert "x" in repr(span)
