@@ -70,20 +70,22 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
-    # E10-E13 follow the run(quick)/test_eN_report() shape (no
+    # E10-E14 follow the run(quick)/test_eN_report() shape (no
     # benchmark fixture): serving-layer caches, concurrency, durability,
-    # observability overhead.
+    # observability overhead, columnar execution.
     from benchmarks import (
         bench_e10_query_cache,
         bench_e11_concurrency,
         bench_e12_durability,
         bench_e13_observability,
+        bench_e14_columnar,
     )
 
     for label, module in (("E10", bench_e10_query_cache),
                           ("E11", bench_e11_concurrency),
                           ("E12", bench_e12_durability),
-                          ("E13", bench_e13_observability)):
+                          ("E13", bench_e13_observability),
+                          ("E14", bench_e14_columnar)):
         print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
         module.run(quick=False)
 

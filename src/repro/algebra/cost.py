@@ -212,6 +212,25 @@ class CostModel:
             cpu += count
         return CostEstimate("twigstack", pages=pages, cpu=cpu)
 
+    def columnar_cost(self, pattern: PatternGraph):
+        """Vectorized semi-joins over label columns: the same posting
+        pages as the holistic joins, but the per-entry CPU constant is a
+        bisect/set probe instead of node-at-a-time dispatch.  Returns
+        ``None`` for patterns the batch kernels cannot evaluate."""
+        from repro.physical.columnar import columnar_eligible
+
+        if not columnar_eligible(pattern):
+            return None
+        pages = 0.0
+        cpu = 0.0
+        for vertex_id in pattern.vertices:
+            if vertex_id == pattern.root:
+                continue
+            count = self._vertex_posting_count(pattern, vertex_id)
+            pages += self._posting_pages(count)
+            cpu += 0.2 * count
+        return CostEstimate("columnar", pages=pages, cpu=cpu)
+
     def navigational_cost(self, pattern: PatternGraph) -> CostEstimate:
         """Node-at-a-time traversal of the whole tree (the commercial
         native-system stand-in)."""
@@ -259,7 +278,11 @@ class CostModel:
             return float(self.stats.node_count)
         return float(sum(self.stats.count(tag) for tag in tags))
 
-    def all_costs(self, pattern: PatternGraph) -> list[CostEstimate]:
+    def all_costs(self, pattern: PatternGraph,
+                  include_columnar: bool = False) -> list[CostEstimate]:
+        """Every finite strategy estimate.  ``include_columnar`` opts the
+        vectorized path into the comparison — the planner passes its
+        ``columnar`` knob through, so ``off`` mode never costs it."""
         estimates = [
             self.nok_cost(pattern) if pattern.is_nok() else
             self.partitioned_cost(pattern),
@@ -268,12 +291,16 @@ class CostModel:
             self.navigational_cost(pattern),
             self.index_scan_cost(pattern),
         ]
+        if include_columnar:
+            estimates.append(self.columnar_cost(pattern))
         return [e for e in estimates if e is not None
                 and e.total != float("inf")]
 
-    def cheapest_strategy(self, pattern: PatternGraph) -> str:
+    def cheapest_strategy(self, pattern: PatternGraph,
+                          include_columnar: bool = False) -> str:
         """The strategy the optimizer would pick for this pattern."""
-        estimates = self.all_costs(pattern)
+        estimates = self.all_costs(pattern,
+                                   include_columnar=include_columnar)
         if not estimates:  # pragma: no cover - navigational always finite
             return "navigational"
         return min(estimates, key=lambda e: e.total).strategy

@@ -106,7 +106,11 @@ from repro.engine.mapping import (
 from repro.observability import Observability
 from repro.observability.analyze import ExplainAnalysis
 from repro.physical.base import MatchRuntime
-from repro.physical.planner import STRATEGIES, PhysicalPlanner
+from repro.physical.planner import (
+    COLUMNAR_MODES,
+    STRATEGIES,
+    PhysicalPlanner,
+)
 from repro.xquery.parser import parse_xquery
 
 __all__ = ["Database", "QueryResult", "LoadedDocument", "PreparedQuery"]
@@ -130,7 +134,8 @@ class LoadedDocument:
     # Monotonically increasing update stamp; any structural change bumps
     # it, which invalidates result-cache entries and strategy memos.
     generation: int = 0
-    # (pattern signature, statistics generation) -> chosen strategy.
+    # (pattern signature, statistics generation, columnar mode)
+    # -> chosen strategy.
     strategy_memo: dict = field(default_factory=dict)
     # Guards strategy_memo: concurrent readers memoize choices for the
     # same hot pattern (see PhysicalPlanner).
@@ -198,7 +203,16 @@ class Database:
                  trace_sample: float = 0.0,
                  trace_capacity: int = 512,
                  slow_query_seconds: float = 0.25,
-                 slow_log_capacity: int = 128):
+                 slow_log_capacity: int = 128,
+                 columnar: str = "auto"):
+        if columnar not in COLUMNAR_MODES:
+            raise ExecutionError(
+                f"columnar mode must be one of {COLUMNAR_MODES}, "
+                f"got {columnar!r}")
+        # Vectorized-execution knob: "auto" lets the cost model compare
+        # the columnar path, "on" forces it for eligible patterns,
+        # "off" removes it from planning.  See set_columnar().
+        self.columnar = columnar
         self.pages = PageManager(page_size=page_size, pool_pages=pool_pages)
         self.documents: dict[str, LoadedDocument] = {}
         self._default_uri: Optional[str] = None
@@ -736,7 +750,8 @@ class Database:
             cost_model = CostModel(document.statistics)
             planner = PhysicalPlanner(cost_model,
                                       choice_memo=document.strategy_memo,
-                                      memo_lock=document.memo_lock)
+                                      memo_lock=document.memo_lock,
+                                      columnar=self.columnar)
             plan_text = self._explain_walk(plan, lines, planner,
                                            cost_model, strategy)
             if not analyze:
@@ -806,7 +821,19 @@ class Database:
         concurrent readers can memoize safely) attached."""
         return PhysicalPlanner(CostModel(document.statistics),
                                choice_memo=document.strategy_memo,
-                               memo_lock=document.memo_lock)
+                               memo_lock=document.memo_lock,
+                               columnar=self.columnar)
+
+    def set_columnar(self, mode: str) -> None:
+        """Switch the vectorized-execution mode at runtime.
+
+        No cache surgery is needed: planner memo keys include the mode,
+        so choices memoized under another mode can never be served."""
+        if mode not in COLUMNAR_MODES:
+            raise ExecutionError(
+                f"columnar mode must be one of {COLUMNAR_MODES}, "
+                f"got {mode!r}")
+        self.columnar = mode
 
     # -- updates -------------------------------------------------------------------
 

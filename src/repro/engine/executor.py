@@ -146,7 +146,8 @@ class PhysicalExecutionContext(ExecutionContext):
         if cost_model is not None:
             try:
                 est_rows = cost_model.result_cardinality(plan.pattern)
-                for estimate in cost_model.all_costs(plan.pattern):
+                for estimate in cost_model.all_costs(
+                        plan.pattern, include_columnar=True):
                     if estimate.strategy == used:
                         est_pages = estimate.pages
                         break

@@ -177,6 +177,30 @@ class Observability:
                      for uri, doc in database.documents.items()},
             labelnames=("uri",))
 
+        # Columnar (vectorized) execution: view rebuild counts and the
+        # resident bytes of the materialised label columns per document
+        # make columnar wins (and their memory price) attributable.
+        registry.register_pull(
+            "repro_columnar_view_builds_total", "counter",
+            "Columnar label-column view (re)builds, by document.",
+            lambda: {uri: doc.runtime.column_builds
+                     for uri, doc in database.documents.items()
+                     if doc.runtime is not None},
+            labelnames=("uri",))
+        registry.register_pull(
+            "repro_columnar_view_bytes", "gauge",
+            "Resident bytes of the cached label columns, by document.",
+            lambda: {uri: (0 if doc.runtime is None
+                           or doc.runtime._columns is None
+                           else doc.runtime._columns.size_bytes())
+                     for uri, doc in database.documents.items()},
+            labelnames=("uri",))
+        registry.register_pull(
+            "repro_columnar_mode", "gauge",
+            "Configured columnar knob (0=off, 1=auto, 2=on).",
+            lambda: {"off": 0, "auto": 1, "on": 2}.get(
+                getattr(database, "columnar", "auto"), 1))
+
         registry.register_pull(
             "repro_slow_queries_total", "counter",
             "Queries recorded in the slow-query log.",

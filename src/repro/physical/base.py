@@ -13,10 +13,12 @@ from posting lists, intermediate-result sizes, join count.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import ExecutionError
+from repro.storage.columns import ColumnarView
 from repro.storage.interval import IntervalDocument
 from repro.storage.pages import PageManager
 from repro.storage.succinct import SuccinctDocument
@@ -85,6 +87,12 @@ class MatchRuntime:
         self.value_index = value_index      # string content -> owner
         self.numeric_index = numeric_index  # float(content) -> owner
         self.statistics = statistics        # DocumentStatistics or None
+        # Lazily extracted label columns for the vectorized execution
+        # path; invalidated (and rebuilt on next use) whenever an
+        # in-place structural update goes through refresh_segments().
+        self._columns: Optional[ColumnarView] = None
+        self._columns_lock = threading.Lock()
+        self.column_builds = 0
         if pages is not None:
             self.structure_segment = pages.segment("succinct:structure")
             self.dom_segment = pages.segment("dom:records")
@@ -103,6 +111,7 @@ class MatchRuntime:
         other not (the engine's RW lock already excludes readers during
         updates; this keeps the runtime safe standalone too).
         """
+        self.invalidate_columns()
         if self.pages is None:
             return
         with self.pages.io_lock:
@@ -113,6 +122,34 @@ class MatchRuntime:
             # The navigational (commercial stand-in) strategy reads
             # pointer-based DOM records, ~32 bytes per node.
             self.dom_segment.length = 32 * self.succinct.node_count
+
+    # -- columnar view ----------------------------------------------------------
+
+    def columnar_view(self) -> ColumnarView:
+        """The shared label-column view of this document state.
+
+        Built on first use (one pass over the interval records) and
+        reused by every subsequent columnar execution; concurrent
+        readers racing on a cold view build it once under the lock.
+        Structural updates run under the engine's write lock and call
+        :meth:`invalidate_columns` (via :meth:`refresh_segments`), so a
+        view never outlives the labels it snapshots.
+        """
+        view = self._columns
+        if view is not None:
+            return view
+        with self._columns_lock:
+            if self._columns is None:
+                self._columns = ColumnarView(
+                    self.interval, self.tag_index,
+                    kinds=getattr(self.succinct, "_kinds", None))
+                self.column_builds += 1
+            return self._columns
+
+    def invalidate_columns(self) -> None:
+        """Drop the cached column view (labels changed in place)."""
+        with self._columns_lock:
+            self._columns = None
 
     # -- vertex predicate evaluation -------------------------------------------
 

@@ -19,6 +19,7 @@ exactly how many joins the partitioning saved versus one-join-per-edge
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Optional
 
@@ -68,7 +69,6 @@ def partition_pattern(pattern: PatternGraph) -> list[Partition]:
         pending_cuts: list[PatternEdge] = []
 
         def copy_vertex(original_id: int):
-            import copy
             original = pattern.vertices[original_id]
             vertex = local.add_vertex(
                 original.labels, kind=original.kind,
@@ -124,6 +124,16 @@ class PartitionedMatcher:
                 # cut edge, so it must survive into the tuples.
                 partition.pattern.vertices[
                     partition.pattern.root].output = True
+        # Per-partition reverse vertex maps and join-key arrays are
+        # derived once and reused: _join re-sorts its right side only
+        # when handed a different tuple list than last time.
+        self._root_original: dict[int, int] = {}
+        for partition in self.partitions:
+            reverse = {local: original
+                       for original, local in partition.vertex_map.items()}
+            self._root_original[partition.index] = \
+                reverse[partition.pattern.root]
+        self._join_inputs: dict[int, tuple] = {}
 
     def run(self, runtime: MatchRuntime, root: int = 0) -> list[int]:
         """Distinct pre-order ids matching the (single) output vertex."""
@@ -173,12 +183,17 @@ class PartitionedMatcher:
         """Join the accumulated tuples with a partition's tuples across
         its cut edge (sort + interval merge, stack-tree style)."""
         edge = partition.cut_edge
-        root_original = self._partition_root_original(partition)
-        right_sorted = sorted(right,
-                              key=lambda t: t.get(root_original, -1))
-        right_keys = [t.get(root_original, -1) for t in right_sorted]
+        root_original = self._root_original[partition.index]
+        cached = self._join_inputs.get(partition.index)
+        if cached is not None and cached[0] is right:
+            _, right_sorted, right_keys = cached
+        else:
+            right_sorted = sorted(right,
+                                  key=lambda t: t.get(root_original, -1))
+            right_keys = [t.get(root_original, -1) for t in right_sorted]
+            self._join_inputs[partition.index] = (right, right_sorted,
+                                                  right_keys)
         joined: list[dict] = []
-        import bisect
         for binding in left:
             anchor = binding.get(edge.source)
             if anchor is None:
@@ -189,8 +204,8 @@ class PartitionedMatcher:
                     root_original)
             else:  # '//'
                 pre, end = runtime.pre_end(anchor)
-                low = bisect.bisect_right(right_keys, pre)
-                high = bisect.bisect_right(right_keys, end)
+                low = bisect_right(right_keys, pre)
+                high = bisect_right(right_keys, end)
                 candidates = right_sorted[low:high]
             for other in candidates:
                 joined.append({**binding, **other})
@@ -200,20 +215,17 @@ class PartitionedMatcher:
     def _sibling_candidates(self, runtime: MatchRuntime, anchor: int,
                             right_sorted: list[dict], right_keys: list[int],
                             root_original: int) -> list[dict]:
-        import bisect
         parent = runtime.interval.node(anchor).parent
         if parent < 0:
             return []
         parent_record = runtime.interval.node(parent)
-        low = bisect.bisect_right(right_keys, anchor)
-        high = bisect.bisect_right(right_keys, parent_record.end)
+        low = bisect_right(right_keys, anchor)
+        high = bisect_right(right_keys, parent_record.end)
         return [t for t in right_sorted[low:high]
                 if runtime.interval.node(t[root_original]).parent == parent]
 
     def _partition_root_original(self, partition: Partition) -> int:
-        reverse = {local: original
-                   for original, local in partition.vertex_map.items()}
-        return reverse[partition.pattern.root]
+        return self._root_original[partition.index]
 
     def join_count(self) -> int:
         """Structural joins a partitioned plan performs (== cut edges) —

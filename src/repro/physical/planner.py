@@ -10,11 +10,17 @@ Strategies (the names the engine and benchmarks use):
 ``twigstack``      holistic twig join (branching patterns)
 ``navigational``   node-at-a-time traversal (commercial stand-in)
 ``index-scan``     content B+ tree probe + verification
+``columnar``       vectorized semi-joins over label columns
 ``auto``           cost-model choice (:class:`repro.algebra.cost.CostModel`)
 =================  ======================================================
 
 ``auto`` consults the cost model, then falls back gracefully when the
 chosen strategy cannot express the pattern (e.g. PathStack on a twig).
+
+The ``columnar`` knob (mirroring ``Database(columnar=...)``) controls
+how ``auto`` treats the vectorized path: ``auto`` lets the cost model
+compare it, ``on`` forces it for every eligible pattern, ``off`` never
+plans it (an explicit ``strategy="columnar"`` request still runs it).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.errors import ExecutionError, PlanError
 from repro.algebra.cost import CostModel
 from repro.algebra.pattern_graph import PatternGraph
 from repro.physical.base import MatchRuntime, OperatorStats
+from repro.physical.columnar import ColumnarMatcher, columnar_eligible
 from repro.physical.indexscan import IndexScanMatcher
 from repro.physical.navigational import NavigationalMatcher
 from repro.physical.nok import NoKMatcher
@@ -33,10 +40,13 @@ from repro.physical.pathstack import PathStackJoin
 from repro.physical.structural_join import BinaryJoinMatcher
 from repro.physical.twigstack import TwigStackJoin
 
-__all__ = ["PhysicalPlanner", "STRATEGIES"]
+__all__ = ["PhysicalPlanner", "STRATEGIES", "COLUMNAR_MODES"]
 
 STRATEGIES = ("nok", "partitioned", "structural-join", "pathstack",
-              "twigstack", "navigational", "index-scan", "auto")
+              "twigstack", "navigational", "index-scan", "columnar",
+              "auto")
+
+COLUMNAR_MODES = ("auto", "on", "off")
 
 
 class PhysicalPlanner:
@@ -58,10 +68,14 @@ class PhysicalPlanner:
 
     def __init__(self, cost_model: Optional[CostModel] = None,
                  choice_memo: Optional[dict] = None,
-                 memo_lock=None):
+                 memo_lock=None, columnar: str = "auto"):
+        if columnar not in COLUMNAR_MODES:
+            raise PlanError(f"columnar mode must be one of "
+                            f"{COLUMNAR_MODES}, got {columnar!r}")
         self.cost_model = cost_model
         self.choice_memo = choice_memo
         self.memo_lock = memo_lock
+        self.columnar = columnar
         self.memo_hits = 0
         self.memo_misses = 0
 
@@ -84,7 +98,9 @@ class PhysicalPlanner:
         generation = 0
         if self.cost_model is not None:
             generation = getattr(self.cost_model.stats, "generation", 0)
-        return (pattern.signature(), generation)
+        # The columnar knob is part of the key: toggling it at runtime
+        # must never serve a choice memoized under the other mode.
+        return (pattern.signature(), generation, self.columnar)
 
     def choose(self, pattern: PatternGraph) -> str:
         """The strategy ``auto`` resolves to for this pattern."""
@@ -101,9 +117,12 @@ class PhysicalPlanner:
         return choice
 
     def _choose_uncached(self, pattern: PatternGraph) -> str:
+        if self.columnar == "on" and columnar_eligible(pattern):
+            return "columnar"
         if self.cost_model is None:
             return "nok" if pattern.is_nok() else "partitioned"
-        choice = self.cost_model.cheapest_strategy(pattern)
+        choice = self.cost_model.cheapest_strategy(
+            pattern, include_columnar=self.columnar == "auto")
         if choice == "structural-join" and pattern.is_nok():
             choice = "nok"  # cost ties favour the native scan
         if choice == "twigstack" and self._is_linear(pattern):
@@ -191,6 +210,9 @@ class PhysicalPlanner:
             return matcher.run(runtime, root=root), matcher.stats, strategy
         if strategy == "navigational":
             matcher = NavigationalMatcher(pattern)
+            return matcher.run(runtime, root=root), matcher.stats, strategy
+        if strategy == "columnar":
+            matcher = ColumnarMatcher(pattern)
             return matcher.run(runtime, root=root), matcher.stats, strategy
         if strategy == "index-scan":
             matcher = IndexScanMatcher(pattern)

@@ -1,0 +1,125 @@
+"""Columnar label view — parallel arrays for array-at-a-time execution.
+
+The succinct and interval stores answer *per-node* questions (``tag``,
+``parent``, ``pre_end``); the vectorized execution path
+(:mod:`repro.physical.columnar`) instead evaluates whole structural
+predicates as range operations over label **columns**: for a node with
+pre-order id ``p``,
+
+* ``end[p]``    — pre id of the last descendant (the subtree window is
+  ``(p, end[p]]`` — the XPath-accelerator interval),
+* ``level[p]``  — depth (document node = 0),
+* ``parent[p]`` — pre id of the parent (-1 for the document node),
+
+plus, per tag, the sorted array of pre ids carrying that tag (the
+posting list reduced to its key column).
+
+Columns are flat :class:`array.array` typed arrays: contiguous machine
+integers, so ``bisect`` probes, slicing, and set/comprehension sweeps
+run at C speed with no per-node object dispatch.  A view is extracted
+once per document state and then shared by every query; in-place
+structural updates invalidate it through the owning
+:class:`~repro.physical.base.MatchRuntime` (which rebuilds lazily on
+the next columnar execution).  Tag and kind key arrays are materialised
+lazily per requested tag/kind and memoized, so a view never pays for
+columns no query asks for.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.storage.interval import IntervalDocument
+from repro.storage.succinct import KIND_ATTRIBUTE, KIND_ELEMENT, KIND_TEXT
+
+__all__ = ["ColumnarView"]
+
+
+class ColumnarView:
+    """Read-only label columns over one document state.
+
+    ``end``/``level``/``parent`` are built eagerly (one pass over the
+    interval records); per-tag and per-kind pre-id arrays come from
+    :meth:`tag_pres` / :meth:`kind_pres` on demand and are cached for
+    the lifetime of the view.  A view is immutable: updates replace it
+    (see ``MatchRuntime.columnar_view``), they never patch it.
+    """
+
+    __slots__ = ("end", "level", "parent", "node_count", "_tag_index",
+                 "_tag_pres", "_kind_pres", "_kinds")
+
+    def __init__(self, interval: IntervalDocument, tag_index,
+                 kinds: Optional[bytes] = None):
+        nodes = interval.nodes
+        self.node_count = len(nodes)
+        # One pass, three appends per node — this is the whole
+        # extraction cost a generation pays.
+        end = array("q")
+        level = array("q")
+        parent = array("q")
+        end.extend(record.end for record in nodes)
+        level.extend(record.level for record in nodes)
+        parent.extend(record.parent for record in nodes)
+        self.end = end
+        self.level = level
+        self.parent = parent
+        self._tag_index = tag_index
+        self._kinds = kinds  # pre-order kind bytes (shared, not copied)
+        self._tag_pres: dict[str, array] = {}
+        self._kind_pres: dict[int, array] = {}
+
+    # -- key columns -------------------------------------------------------------
+
+    def tags(self) -> list[str]:
+        """Every tag with at least one posting."""
+        return self._tag_index.tags()
+
+    def tag_pres(self, tag: str) -> array:
+        """Sorted pre ids of the nodes tagged ``tag`` (possibly empty).
+
+        Extracted from the tag index's posting list once, then cached;
+        the posting records themselves are never touched again by the
+        columnar kernels.
+        """
+        pres = self._tag_pres.get(tag)
+        if pres is None:
+            pres = array("q")
+            pres.extend(record.pre for record in
+                        self._tag_index.postings(tag, charge=False))
+            self._tag_pres[tag] = pres
+        return pres
+
+    def kind_pres(self, kind: int) -> array:
+        """Sorted pre ids of every node of ``kind`` (wildcard vertices)."""
+        pres = self._kind_pres.get(kind)
+        if pres is None:
+            pres = array("q")
+            if self._kinds is not None:
+                pres.extend(pre for pre, k in enumerate(self._kinds)
+                            if k == kind)
+            self._kind_pres[kind] = pres
+        return pres
+
+    def element_pres(self) -> array:
+        return self.kind_pres(KIND_ELEMENT)
+
+    def attribute_pres(self) -> array:
+        return self.kind_pres(KIND_ATTRIBUTE)
+
+    def text_pres(self) -> array:
+        return self.kind_pres(KIND_TEXT)
+
+    # -- accounting --------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Resident bytes of the materialised columns (8 bytes per
+        entry for the ``array('q')`` columns)."""
+        resident = 8 * (len(self.end) + len(self.level) + len(self.parent))
+        resident += sum(8 * len(a) for a in self._tag_pres.values())
+        resident += sum(8 * len(a) for a in self._kind_pres.values())
+        return resident
+
+    def __repr__(self) -> str:
+        return (f"<ColumnarView nodes={self.node_count} "
+                f"tags_cached={len(self._tag_pres)}>")
