@@ -70,22 +70,24 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
-    # E10-E14 follow the run(quick)/test_eN_report() shape (no
+    # E10-E15 follow the run(quick)/test_eN_report() shape (no
     # benchmark fixture): serving-layer caches, concurrency, durability,
-    # observability overhead, columnar execution.
+    # observability overhead, columnar execution, MVCC snapshot reads.
     from benchmarks import (
         bench_e10_query_cache,
         bench_e11_concurrency,
         bench_e12_durability,
         bench_e13_observability,
         bench_e14_columnar,
+        bench_e15_mvcc,
     )
 
     for label, module in (("E10", bench_e10_query_cache),
                           ("E11", bench_e11_concurrency),
                           ("E12", bench_e12_durability),
                           ("E13", bench_e13_observability),
-                          ("E14", bench_e14_columnar)):
+                          ("E14", bench_e14_columnar),
+                          ("E15", bench_e15_mvcc)):
         print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
         module.run(quick=False)
 

@@ -8,7 +8,13 @@ make writes fail at chosen byte offsets.
 
 The manager itself is not locked: every entry point is called by the
 Database while it holds its exclusive writer lock, which serializes
-logging, checkpointing and recovery against queries and each other.
+logging, checkpointing and recovery against each other (queries are
+lock-free MVCC snapshot reads and never conflict).  Ordering contract
+per update: the WAL record is appended + fsynced *before* the writer
+builds its copy-on-write version, and ``maybe_checkpoint`` runs only
+*after* the new snapshot is published — a checkpoint serializes
+``database.documents``, so it always captures exactly the state the
+log explains.
 """
 
 from __future__ import annotations

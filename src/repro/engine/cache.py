@@ -17,11 +17,13 @@ Three caches fix that:
 :class:`ResultCache`
     A size-bounded LRU of fully materialised result sequences for
     *read-only* executions, keyed by (normalized text, strategy, target
-    document) and stamped with the database's **generation vector** — a
-    tuple of every loaded document's monotonically increasing update
-    generation plus a load epoch.  Any ``insert``/``delete``/``load``
-    bumps a generation, so stale hits are structurally impossible: a
-    stamp mismatch is treated as a miss and the dead entry is dropped.
+    document) and stamped with the pinned snapshot's **version
+    vector** — the load epoch plus every loaded document's unique
+    ``version_id`` (precomputed on each
+    :class:`~repro.engine.database.DatabaseSnapshot`).  Any
+    ``insert``/``delete``/``load``/``rebuild_derived`` publishes new
+    version ids, so stale hits are structurally impossible: a stamp
+    mismatch is treated as a miss and the dead entry is dropped.
     Queries with external variable bindings bypass this cache (bindings
     are not part of the key).
 
@@ -248,12 +250,13 @@ class PlanCache:
 
 
 class ResultCache:
-    """Generation-stamped LRU of materialised read-only results.
+    """Version-stamped LRU of materialised read-only results.
 
-    Entries are ``(stamp, items, strategy)``; a lookup whose stamp does
-    not exactly match the database's current generation vector drops the
-    entry and reports a miss, so results can never survive an update to
-    any loaded document.
+    Entries are ``(stamp, items, strategy)``, the stamp being the
+    pinned snapshot's version vector; a lookup whose stamp does not
+    exactly match the current snapshot's drops the entry and reports a
+    miss, so results can never survive a snapshot publish (update,
+    load, or derived rebuild) on any loaded document.
     """
 
     def __init__(self, capacity: int = 256):

@@ -3,22 +3,30 @@
 The ROADMAP's workload is read-mostly: many pattern queries served
 against a document store that changes comparatively rarely (the
 XML-tree-pattern survey's setting, and RadegastXDB's concurrent request
-loop in PAPERS.md).  The matching primitive is a **reader-writer lock**:
+loop in PAPERS.md).  Since the engine moved to MVCC snapshot reads
+(:mod:`repro.engine.database`), queries never touch this lock at all —
+they pin an immutable :class:`~repro.engine.database.DatabaseSnapshot`
+and run against it.  :class:`RWLock` survives as the **writer mutex**:
 
-* ``query`` / ``PreparedQuery.run`` acquire the *read* side — any number
-  of them execute concurrently against an immutable snapshot of the
-  storage structures;
 * ``load`` / ``insert`` / ``delete`` / ``rebuild_derived`` acquire the
-  *write* side — exactly one of them runs, with no readers in flight, so
-  the mid-splice states of the succinct store, interval store, tag
-  index, and value indexes are never observable.
+  *write* side — exactly one structural change builds its copy-on-write
+  version and publishes it at a time;
+* the *read* side remains available (tests, external callers embedding
+  the engine, tools that need a writer-quiescent window), with the
+  original shared-reader semantics.
 
 :class:`RWLock` is **writer-preferring**: once a writer is waiting, new
-first-entry readers queue behind it, so a continuous stream of cheap
-queries cannot starve an update.  Both sides are reentrant within one
+first-entry readers queue behind it, so a continuous stream of read
+sections cannot starve an update.  Both sides are reentrant within one
 thread, and a writer may enter read sections it already covers (the
 update paths resolve their targets through ``query``); upgrading a read
 lock to a write lock is refused because it deadlocks two upgraders.
+
+Timeouts are **deadlines**: ``acquire_read``/``acquire_write`` with a
+``timeout`` spend at most that long in total, however many times the
+internal condition wakes them, and a writer that gives up re-notifies
+the condition so readers queued behind its writer preference are never
+stranded.
 
 The module is dependency-free (``threading`` only) so every layer —
 engine, storage, physical — can use it without import cycles.
@@ -66,9 +74,11 @@ class RWLock:
         self._local = threading.local()  # per-thread read depth
         # Optional wait-time observer: ``observer(mode, waited_seconds)``
         # with mode in ("read", "write"), called after every successful
-        # first-level acquisition (outside the internal condition, so
-        # the callback may itself take locks).  The engine wires this to
-        # the ``repro_lock_wait_seconds`` histogram.
+        # acquisition — first-level and reentrant alike, so acquisition
+        # *counts* stay meaningful even when reentrant fast paths wait
+        # ~0s (outside the internal condition, so the callback may
+        # itself take locks).  The engine wires this to the
+        # ``repro_lock_wait_seconds`` histogram.
         self.observer = observer
 
     # -- per-thread bookkeeping ------------------------------------------------
@@ -79,6 +89,24 @@ class RWLock:
     def _set_read_depth(self, depth: int) -> None:
         self._local.read_depth = depth
 
+    def _wait(self, deadline: float | None) -> bool:
+        """One condition wait bounded by the caller's absolute deadline
+        (``perf_counter`` seconds); ``False`` means the deadline passed.
+
+        The caller's loop re-enters with the *remaining* time after
+        every wakeup, so the total blocked time can never exceed the
+        requested timeout — passing the original timeout to each
+        iteration (the old behaviour) let repeated notifies push the
+        total wait arbitrarily far past the deadline.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return False
+        return self._cond.wait(remaining)
+
     # -- read side -------------------------------------------------------------
 
     def acquire_read(self, timeout: float | None = None) -> bool:
@@ -88,9 +116,12 @@ class RWLock:
             # Re-entrant read: no blocking (a waiting writer waits for
             # our outermost release, so queueing here would deadlock).
             self._set_read_depth(depth + 1)
+            if self.observer is not None:
+                self.observer("read", 0.0)
             return True
         me = threading.get_ident()
         started = time.perf_counter()
+        deadline = None if timeout is None else started + timeout
         waited = None
         with self._cond:
             if self._writer_ident == me:
@@ -98,17 +129,18 @@ class RWLock:
                 # free pass, not counted as a shared reader.
                 self._local.counted = False
                 self._set_read_depth(1)
-                return True
-            # First-level entry: writer preference applies.
-            while self._writer_ident is not None \
-                    or self._waiting_writers > 0:
-                if not self._cond.wait(timeout):
-                    return False
-            self._active_readers += 1
-            self._local.counted = True
-            self._set_read_depth(1)
-            if self.observer is not None:
-                waited = time.perf_counter() - started
+                waited = 0.0 if self.observer is not None else None
+            else:
+                # First-level entry: writer preference applies.
+                while self._writer_ident is not None \
+                        or self._waiting_writers > 0:
+                    if not self._wait(deadline):
+                        return False
+                self._active_readers += 1
+                self._local.counted = True
+                self._set_read_depth(1)
+                if self.observer is not None:
+                    waited = time.perf_counter() - started
         if waited is not None:
             self.observer("read", waited)
         return True
@@ -135,28 +167,37 @@ class RWLock:
         """Enter the exclusive section; returns ``False`` on timeout."""
         me = threading.get_ident()
         started = time.perf_counter()
+        deadline = None if timeout is None else started + timeout
         waited = None
         with self._cond:
             if self._writer_ident == me:
                 self._writer_depth += 1
-                return True
-            if self._read_depth() > 0:
-                raise RuntimeError(
-                    "cannot upgrade a read lock to a write lock "
-                    "(two upgraders deadlock); release the read side "
-                    "first")
-            self._waiting_writers += 1
-            try:
-                while self._active_readers > 0 \
-                        or self._writer_ident is not None:
-                    if not self._cond.wait(timeout):
-                        return False
-            finally:
-                self._waiting_writers -= 1
-            self._writer_ident = me
-            self._writer_depth = 1
-            if self.observer is not None:
-                waited = time.perf_counter() - started
+                waited = 0.0 if self.observer is not None else None
+            else:
+                if self._read_depth() > 0:
+                    raise RuntimeError(
+                        "cannot upgrade a read lock to a write lock "
+                        "(two upgraders deadlock); release the read side "
+                        "first")
+                self._waiting_writers += 1
+                try:
+                    while self._active_readers > 0 \
+                            or self._writer_ident is not None:
+                        if not self._wait(deadline):
+                            return False
+                    self._writer_ident = me
+                    self._writer_depth = 1
+                finally:
+                    self._waiting_writers -= 1
+                    if self._writer_ident != me:
+                        # Giving up (timeout or an exception) after
+                        # having queued readers behind our writer
+                        # preference: wake them, or a timed-out lone
+                        # writer strands every queued reader until some
+                        # unrelated notify happens.
+                        self._cond.notify_all()
+                if self.observer is not None:
+                    waited = time.perf_counter() - started
         if waited is not None:
             self.observer("write", waited)
         return True

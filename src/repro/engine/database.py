@@ -51,17 +51,30 @@ valid snapshot — bypassing XML parsing and ``rebuild_derived``
 entirely — and replays the WAL suffix; a corrupt newest snapshot falls
 back to the previous generation.  See :mod:`repro.durability`.
 
-Concurrency
------------
+Concurrency — MVCC snapshot reads
+---------------------------------
 
-The database is safe to share across threads.  Queries execute as
-*shared readers* under a writer-preferring reader-writer lock
-(:class:`repro.engine.concurrency.RWLock`); ``load``/``insert``/
-``delete``/``rebuild_derived`` take the exclusive writer side, so no
-query ever observes a half-applied splice.  The plan/result caches and
-the strategy memo are internally locked, per-query I/O is accounted on
-per-thread counters, and :meth:`Database.query_many` fans a batch of
-read-only queries across a thread pool.
+The database is safe to share across threads and queries **never take
+a lock**.  All per-document state lives in immutable
+:class:`DocumentVersion` objects collected in an immutable
+:class:`DatabaseSnapshot`; the database holds exactly one mutable
+reference, ``_snapshot``, which readers *pin* with a single attribute
+read at query start and then use exclusively — a reader always sees
+one consistent version of every document, however long it runs and
+however many updates land meanwhile.
+
+Writers (``load``/``insert``/``delete``/``rebuild_derived``) serialize
+against *each other* on the write side of ``rwlock``, build a complete
+new :class:`DocumentVersion` by cloning the current one and splicing
+the copy (copy-on-write — the pinned version is never touched), and
+publish with one atomic assignment of a new snapshot object (a pointer
+swap under the GIL).  The write-ahead log record is fsynced before the
+clone is mutated and the checkpoint hook runs after the publish, so
+recovery can never observe a version the WAL does not explain.  The
+plan/result caches and the per-version strategy memo are internally
+locked; per-query I/O is accounted on per-thread counters; and
+:meth:`Database.query_many` fans a batch of read-only queries across a
+thread pool.
 """
 
 from __future__ import annotations
@@ -113,12 +126,24 @@ from repro.physical.planner import (
 )
 from repro.xquery.parser import parse_xquery
 
-__all__ = ["Database", "QueryResult", "LoadedDocument", "PreparedQuery"]
+__all__ = ["Database", "DatabaseSnapshot", "DocumentVersion",
+           "QueryResult", "LoadedDocument", "PreparedQuery"]
 
 
 @dataclass
-class LoadedDocument:
-    """Everything the engine keeps per document."""
+class DocumentVersion:
+    """One immutable generation of everything the engine keeps per
+    document.
+
+    Under MVCC a version is **frozen once published**: structural
+    updates clone it, splice the clone, and publish the clone as a new
+    version — readers pinned on this one keep a fully consistent view
+    of every field below for as long as they hold the reference.  (The
+    ``runtime``'s lazily built columnar view and the strategy memo are
+    internal caches with their own locks; they memoize pure functions
+    of the frozen state, so sharing them among that version's readers
+    is safe.)
+    """
 
     uri: str
     tree: model.Document
@@ -132,8 +157,14 @@ class LoadedDocument:
     node_list: list            # storage pre-order id -> model node
     preorder_map: dict         # model node_id -> storage pre-order id
     # Monotonically increasing update stamp; any structural change bumps
-    # it, which invalidates result-cache entries and strategy memos.
+    # it in the successor version.  Kept distinct from ``version_id``
+    # because the WAL records it (replay verification) and it restarts
+    # from the snapshot on recovery.
     generation: int = 0
+    # Database-wide unique id of this version object, assigned at
+    # publish time; result-cache stamps are built from these, so a
+    # cache entry can never be served across a version swap.
+    version_id: int = 0
     # (pattern signature, statistics generation, columnar mode)
     # -> chosen strategy.
     strategy_memo: dict = field(default_factory=dict)
@@ -145,6 +176,46 @@ class LoadedDocument:
     def node_for(self, preorder: int) -> model.Node:
         """The model node behind a storage pre-order id."""
         return self.node_list[preorder]
+
+
+#: Backwards-compatible alias — a "loaded document" is one pinned
+#: version of it now.
+LoadedDocument = DocumentVersion
+
+
+class DatabaseSnapshot:
+    """An immutable view of the whole database at one instant.
+
+    ``Database._snapshot`` always points at one of these; readers pin
+    it with a single attribute read (atomic under the GIL) and resolve
+    every document through it.  ``stamp`` is the precomputed
+    result-cache stamp: the load epoch plus each document's
+    ``version_id`` — any publish produces a snapshot with a different
+    stamp, so stale cache entries can never be served.
+    """
+
+    __slots__ = ("documents", "default_uri", "load_epoch", "stamp")
+
+    def __init__(self, documents: dict, default_uri: Optional[str],
+                 load_epoch: int):
+        self.documents = documents
+        self.default_uri = default_uri
+        self.load_epoch = load_epoch
+        self.stamp = (load_epoch,) + tuple(
+            sorted((uri, version.version_id)
+                   for uri, version in documents.items()))
+
+    def version_for_tree(self, tree: model.Document
+                         ) -> Optional[DocumentVersion]:
+        """The version whose model tree is ``tree`` (identity match)."""
+        for version in self.documents.values():
+            if version.tree is tree:
+                return version
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DatabaseSnapshot docs={len(self.documents)} "
+                f"epoch={self.load_epoch}>")
 
 
 @dataclass
@@ -188,11 +259,13 @@ class Database:
     derived structures (slow; meant for tests — also enabled by setting
     the ``REPRO_DEBUG_UPDATES`` environment variable).
 
-    Thread safety: a writer-preferring reader-writer lock (``rwlock``)
-    serializes structural changes (``load``/``insert``/``delete``/
-    ``rebuild_derived``) against queries, which run concurrently as
-    shared readers; the caches and the page manager are internally
-    locked; per-query I/O is accounted per thread.  See
+    Thread safety: queries are lock-free — each pins the current
+    :class:`DatabaseSnapshot` and runs entirely against it.  Structural
+    changes (``load``/``insert``/``delete``/``rebuild_derived``)
+    serialize against each other on the write side of ``rwlock``,
+    build a new :class:`DocumentVersion` copy-on-write, and publish it
+    with one atomic snapshot swap; the caches and the page manager are
+    internally locked; per-query I/O is accounted per thread.  See
     :mod:`repro.engine.concurrency` and :meth:`query_many`.
     """
 
@@ -214,13 +287,21 @@ class Database:
         # "off" removes it from planning.  See set_columnar().
         self.columnar = columnar
         self.pages = PageManager(page_size=page_size, pool_pages=pool_pages)
-        self.documents: dict[str, LoadedDocument] = {}
-        self._default_uri: Optional[str] = None
+        # THE mutable cell of the MVCC design: everything a query needs
+        # hangs off this one reference.  Writers replace it wholesale
+        # (attribute assignment is atomic under the GIL); readers pin it
+        # once per query.
+        self._snapshot = DatabaseSnapshot({}, None, 0)
+        self._version_counter = 0   # only advanced under the write lock
+        self._publishes = 0         # snapshot swaps (metrics)
+        # Version-pin gauge: how many queries currently hold a pinned
+        # snapshot (repro_version_pins).
+        self._pin_lock = threading.Lock()
+        self._active_pins = 0
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.debug_checks = (debug_checks
                              or bool(os.environ.get("REPRO_DEBUG_UPDATES")))
-        self._load_epoch = 0
         # Set by Database.open(); None = a purely in-memory database.
         self.durability: Optional[DurabilityManager] = None
         # Tracing + metrics + slow-query log.  ``trace_sample`` is the
@@ -231,12 +312,75 @@ class Database:
             trace_sample=trace_sample, trace_capacity=trace_capacity,
             slow_query_seconds=slow_query_seconds,
             slow_log_capacity=slow_log_capacity)
-        # Queries take the read side; load/insert/delete/rebuild take
-        # the write side.  Writer-preferring so a stream of cached reads
-        # cannot starve updates.  The observer feeds the lock-wait
-        # histograms (repro_lock_wait_seconds).
+        # The writer mutex: load/insert/delete/rebuild take the write
+        # side so at most one new version is built and published at a
+        # time.  Queries never touch it (they pin snapshots); the read
+        # side remains for external callers needing a writer-quiescent
+        # window.  The observer feeds the lock-wait histograms
+        # (repro_lock_wait_seconds) — under pure query load the "read"
+        # series stays empty, which E15 asserts.
         self.rwlock = RWLock(observer=self.observability.on_lock_wait)
         self.observability.bind_database(self)
+
+    # -- MVCC plumbing ------------------------------------------------------------
+
+    @property
+    def documents(self) -> dict:
+        """The current snapshot's documents (do not mutate — writers
+        publish whole new snapshots)."""
+        return self._snapshot.documents
+
+    @property
+    def _default_uri(self) -> Optional[str]:
+        return self._snapshot.default_uri
+
+    @property
+    def _load_epoch(self) -> int:
+        return self._snapshot.load_epoch
+
+    @property
+    def version_publishes(self) -> int:
+        """Total snapshot swaps since construction (metrics)."""
+        return self._publishes
+
+    @property
+    def active_pins(self) -> int:
+        """Queries currently executing against a pinned snapshot."""
+        with self._pin_lock:
+            return self._active_pins
+
+    def _pin(self) -> DatabaseSnapshot:
+        """Pin the current snapshot for one query (gauge bookkeeping;
+        the pin itself is just the attribute read)."""
+        snapshot = self._snapshot
+        with self._pin_lock:
+            self._active_pins += 1
+        return snapshot
+
+    def _unpin(self) -> None:
+        with self._pin_lock:
+            self._active_pins -= 1
+
+    def _next_version_id(self) -> int:
+        """A fresh version id (caller holds the write lock)."""
+        self._version_counter += 1
+        return self._version_counter
+
+    def _publish(self, documents: dict, default_uri: Optional[str],
+                 load_epoch: int) -> None:
+        """Atomically swap in a new snapshot (caller holds the write
+        lock and passes a dict nobody else references)."""
+        self._snapshot = DatabaseSnapshot(documents, default_uri,
+                                          load_epoch)
+        self._publishes += 1
+
+    def _publish_version(self, version: DocumentVersion) -> None:
+        """Publish one new document version into a successor snapshot."""
+        snapshot = self._snapshot
+        documents = dict(snapshot.documents)
+        documents[version.uri] = version
+        self._publish(documents, snapshot.default_uri,
+                      snapshot.load_epoch)
 
     # -- durability ---------------------------------------------------------------
 
@@ -310,9 +454,11 @@ class Database:
         is restored through its ``from_snapshot``/``restore``
         constructor; only the model tree is rebuilt, by a pre-order walk
         of the succinct store (no XML tokenizer).  Called by recovery
-        under the write lock.
+        under the write lock; the restored state is published as one
+        fresh snapshot (queries racing recovery see either nothing or
+        everything).
         """
-        self.documents.clear()
+        documents: dict[str, DocumentVersion] = {}
         for parts in state["documents"]:
             header = parts["header"]
             uri = header["uri"]
@@ -330,7 +476,7 @@ class Database:
                 succinct.content, parts["numericindex"],
                 segment=self.pages.segment(f"numeric-btree:{uri}"))
             tree, node_list = materialise_tree(interval, uri)
-            document = LoadedDocument(
+            document = DocumentVersion(
                 uri=uri, tree=tree, succinct=succinct, interval=interval,
                 tag_index=tag_index, statistics=statistics,
                 value_index=value_index, numeric_index=numeric_index,
@@ -338,15 +484,16 @@ class Database:
                 node_list=node_list,
                 preorder_map={node.node_id: pre for pre, node
                               in enumerate(node_list)},
-                generation=header["generation"])
+                generation=header["generation"],
+                version_id=self._next_version_id())
             document.runtime = MatchRuntime(
                 succinct, interval, tag_index, pages=self.pages,
                 residual_check=self._residual_checker(document),
                 value_index=value_index, numeric_index=numeric_index,
                 statistics=statistics)
-            self.documents[uri] = document
-        self._default_uri = state["default_uri"]
-        self._load_epoch = state["load_epoch"]
+            documents[uri] = document
+        self._publish(documents, state["default_uri"],
+                      state["load_epoch"])
 
     def _replay_record(self, record: dict) -> None:
         """Re-apply one logged operation during recovery (the manager's
@@ -413,22 +560,24 @@ class Database:
                                                                uri)
         node_list = storage_node_list(tree)
         preorder_map = storage_preorder_map(tree)
-        document = LoadedDocument(
+        document = DocumentVersion(
             uri=uri, tree=tree, succinct=succinct, interval=interval,
             tag_index=tag_index, statistics=statistics,
             value_index=value_index, numeric_index=numeric_index,
             runtime=None,  # type: ignore[arg-type]
-            node_list=node_list, preorder_map=preorder_map)
+            node_list=node_list, preorder_map=preorder_map,
+            version_id=self._next_version_id())
         document.runtime = MatchRuntime(
             succinct, interval, tag_index, pages=self.pages,
             residual_check=self._residual_checker(document),
             value_index=value_index, numeric_index=numeric_index,
             statistics=statistics)
-        self.documents[uri] = document
-        if self._default_uri is None:
-            self._default_uri = uri
+        snapshot = self._snapshot
+        documents = dict(snapshot.documents)
+        documents[uri] = document
         # A (re)load changes what any query can see: new stamp epoch.
-        self._load_epoch += 1
+        self._publish(documents, snapshot.default_uri or uri,
+                      snapshot.load_epoch + 1)
         return document
 
     def _build_value_indexes(self, succinct: SuccinctDocument,
@@ -463,12 +612,20 @@ class Database:
 
         return check
 
-    def document(self, uri: Optional[str] = None) -> LoadedDocument:
-        """The loaded document for ``uri`` (default: first loaded)."""
-        target = uri or self._default_uri
-        if target is None or target not in self.documents:
+    def document(self, uri: Optional[str] = None) -> DocumentVersion:
+        """The current version of ``uri``'s document (default: first
+        loaded)."""
+        return self._document_in(self._snapshot, uri)
+
+    @staticmethod
+    def _document_in(snapshot: DatabaseSnapshot,
+                     uri: Optional[str]) -> DocumentVersion:
+        """Resolve ``uri`` inside one pinned snapshot (one consistent
+        read — never mixes two snapshots' default uri and documents)."""
+        target = uri or snapshot.default_uri
+        if target is None or target not in snapshot.documents:
             raise ExecutionError(f"document {target!r} is not loaded")
-        return self.documents[target]
+        return snapshot.documents[target]
 
     # -- compilation ------------------------------------------------------------
 
@@ -503,11 +660,10 @@ class Database:
         return PreparedQuery(self, text, plan)
 
     def _generation_stamp(self) -> tuple:
-        """The generation vector result-cache entries are stamped with:
-        the load epoch plus every loaded document's update generation."""
-        return (self._load_epoch,) + tuple(
-            sorted((uri, document.generation)
-                   for uri, document in self.documents.items()))
+        """The stamp result-cache entries carry: the load epoch plus
+        every loaded document's **version id** (precomputed on the
+        snapshot — every publish changes it)."""
+        return self._snapshot.stamp
 
     # -- querying ---------------------------------------------------------------
 
@@ -569,9 +725,12 @@ class Database:
                       variables: Optional[dict]) -> QueryResult:
         """Execute a compiled plan through the result cache.
 
-        Runs as a *shared reader*: any number of these execute
-        concurrently; structural updates exclude them via the write
-        side of ``rwlock``.
+        **Lock-free**: the query pins the current
+        :class:`DatabaseSnapshot` once and executes entirely against
+        it; concurrent updates publish new snapshots without ever
+        touching the pinned one.  The result-cache stamp is the pinned
+        snapshot's, so a result computed here can only ever be served
+        to queries seeing the same versions.
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
@@ -581,10 +740,11 @@ class Database:
         observability = self.observability
         with observability.tracer.span("query", strategy=strategy) \
                 as query_span:
-            with self.rwlock.read_locked():
-                stamp = self._generation_stamp()
+            snapshot = self._pin()
+            try:
+                stamp = snapshot.stamp
                 key = ResultCache.key(text, strategy,
-                                      uri or self._default_uri)
+                                      uri or snapshot.default_uri)
                 if cacheable:
                     cached = self.result_cache.lookup(key, stamp)
                     if cached is not None:
@@ -612,7 +772,8 @@ class Database:
                             io={k: 0 for k in
                                 self.pages.thread_snapshot()})
                 context = self._execution_context(uri, strategy,
-                                                  variables=variables)
+                                                  variables=variables,
+                                                  snapshot=snapshot)
                 # Snapshot-and-diff the calling thread's *own* I/O
                 # counters (the seed diffed — and before that reset —
                 # the shared ones, which races under concurrent
@@ -642,8 +803,13 @@ class Database:
                         io=io_delta)
                     raise error
                 if cacheable:
+                    # Stamped with the *pinned* snapshot's stamp: if a
+                    # writer published meanwhile, the very next lookup
+                    # sees a different stamp and discards this entry.
                     self.result_cache.store(key, stamp, items,
                                             context.last_strategy)
+            finally:
+                self._unpin()
             stats = context.accumulated_stats.snapshot()
             stats["cache"] = self._cache_info(
                 plan="hit" if plan_hit else "miss",
@@ -686,17 +852,20 @@ class Database:
 
     def cache_report(self) -> dict:
         """Counters and occupancy of every serving-layer cache."""
-        with self.rwlock.read_locked():
-            return {
-                "plan_cache": self.plan_cache.report(),
-                "result_cache": self.result_cache.report(),
-                "strategy_memo": {
-                    uri: len(document.strategy_memo)
-                    for uri, document in self.documents.items()},
-                "generations": {
-                    uri: document.generation
-                    for uri, document in self.documents.items()},
-            }
+        snapshot = self._snapshot
+        return {
+            "plan_cache": self.plan_cache.report(),
+            "result_cache": self.result_cache.report(),
+            "strategy_memo": {
+                uri: len(document.strategy_memo)
+                for uri, document in snapshot.documents.items()},
+            "generations": {
+                uri: document.generation
+                for uri, document in snapshot.documents.items()},
+            "versions": {
+                uri: document.version_id
+                for uri, document in snapshot.documents.items()},
+        }
 
     def clear_caches(self) -> None:
         """Drop every cached plan, result, and strategy choice."""
@@ -717,16 +886,16 @@ class Database:
         """Evaluate with the reference interpreter only (ground truth)."""
         from repro.xquery.interpreter import evaluate_xquery
 
-        with self.rwlock.read_locked():
-            trees = {loaded_uri: doc.tree
-                     for loaded_uri, doc in self.documents.items()}
-            context_node = None
-            if uri is not None:
-                context_node = self.document(uri).tree
-            elif self._default_uri is not None:
-                context_node = self.document().tree
-            return evaluate_xquery(text, documents=trees,
-                                   context_node=context_node)
+        snapshot = self._snapshot
+        trees = {loaded_uri: doc.tree
+                 for loaded_uri, doc in snapshot.documents.items()}
+        context_node = None
+        if uri is not None:
+            context_node = self._document_in(snapshot, uri).tree
+        elif snapshot.default_uri is not None:
+            context_node = self._document_in(snapshot, None).tree
+        return evaluate_xquery(text, documents=trees,
+                               context_node=context_node)
 
     def explain(self, text: str, strategy: str = "auto",
                 uri: Optional[str] = None,
@@ -745,8 +914,9 @@ class Database:
         """
         plan, _ = self._compiled_plan(text)
         lines = [explain_plan(plan)]
-        with self.rwlock.read_locked():
-            document = self.document(uri)
+        snapshot = self._pin()
+        try:
+            document = self._document_in(snapshot, uri)
             cost_model = CostModel(document.statistics)
             planner = PhysicalPlanner(cost_model,
                                       choice_memo=document.strategy_memo,
@@ -756,7 +926,8 @@ class Database:
                                            cost_model, strategy)
             if not analyze:
                 return plan_text
-            context = self._execution_context(uri, strategy)
+            context = self._execution_context(uri, strategy,
+                                              snapshot=snapshot)
             context.analyze_records = []
             io_before = self.pages.thread_snapshot()
             started = time.perf_counter()
@@ -765,6 +936,8 @@ class Database:
                 items = run_plan(plan, context)
             elapsed = time.perf_counter() - started
             io_after = self.pages.thread_snapshot()
+        finally:
+            self._unpin()
         self.observability.explain_analyze_total.inc()
         return ExplainAnalysis(
             plan_text=plan_text,
@@ -805,20 +978,26 @@ class Database:
     # -- helpers ------------------------------------------------------------------
 
     def _execution_context(self, uri: Optional[str], strategy: str,
-                           variables: Optional[dict] = None
+                           variables: Optional[dict] = None,
+                           snapshot: Optional[DatabaseSnapshot] = None
                            ) -> PhysicalExecutionContext:
-        document = self.document(uri)
+        """An execution context over one pinned snapshot (defaults to
+        pinning the current one) — every document the plan touches
+        resolves inside that snapshot."""
+        if snapshot is None:
+            snapshot = self._snapshot
+        document = self._document_in(snapshot, uri)
         trees = {loaded_uri: doc.tree
-                 for loaded_uri, doc in self.documents.items()}
+                 for loaded_uri, doc in snapshot.documents.items()}
         return PhysicalExecutionContext(
             database=self, documents=trees,
             context_node=document.tree, strategy=strategy,
-            variables=variables)
+            variables=variables, snapshot=snapshot)
 
-    def planner_for(self, document: LoadedDocument) -> PhysicalPlanner:
-        """A physical planner over the document's live statistics, with
-        the document's persistent strategy memo (and its lock, so
-        concurrent readers can memoize safely) attached."""
+    def planner_for(self, document: DocumentVersion) -> PhysicalPlanner:
+        """A physical planner over one version's statistics, with that
+        version's strategy memo (and its lock, so concurrent readers
+        can memoize safely) attached."""
         return PhysicalPlanner(CostModel(document.statistics),
                                choice_memo=document.strategy_memo,
                                memo_lock=document.memo_lock,
@@ -843,12 +1022,16 @@ class Database:
         """Insert an XML ``fragment`` as a child of the (single) element
         ``parent_path`` selects, keeping every storage structure aligned.
 
-        The succinct and interval stores are spliced in place (their
+        Copy-on-write: the current :class:`DocumentVersion` is cloned,
+        the clone's succinct and interval stores are spliced (their
         update metrics are returned) and every derived structure — tag
         index, statistics, value indexes, pre-order maps — absorbs a
-        *local delta* for the inserted subtree instead of a rebuild.
+        *local delta* for the inserted subtree; the finished clone is
+        then published as a new snapshot.  Queries pinned on the old
+        version never observe a mid-splice store — or this change at
+        all.
 
-        Takes the write lock: no query observes a mid-splice store.
+        Takes the write lock only to serialize against other writers.
         """
         with self.rwlock.write_locked():
             return self._insert_locked(parent_path, fragment, position,
@@ -878,7 +1061,8 @@ class Database:
             raise ExecutionError(f"child position {position} out of range")
 
         # Every validation passed: make the operation durable *before*
-        # touching any in-memory structure (write-ahead invariant).  The
+        # building the successor version (write-ahead invariant — the
+        # WAL always explains the snapshot that readers can see).  The
         # position is the normalized one, so replay is deterministic;
         # the generation stamp lets replay verify it reproduced this
         # exact state transition.
@@ -889,18 +1073,27 @@ class Database:
             "generation": document.generation + 1,
         })
 
-        # Primary stores: local splices, with the paper's cost metrics.
+        # Copy-on-write: all splicing happens on a clone; ``document``
+        # (and everything readers may have pinned) stays untouched.
+        # The target resolved against the pinned tree maps to the clone
+        # through its storage pre-order id.
         parent_pre = document.preorder_map[parent.node_id]
-        succinct_metrics = document.succinct.insert_subtree(
+        version = self._clone_version(document)
+        clone_parent = version.node_list[parent_pre]
+
+        # Primary stores: local splices, with the paper's cost metrics.
+        succinct_metrics = version.succinct.insert_subtree(
             parent_pre, position, subtree)
-        interval_metrics = document.interval.insert_subtree(
+        interval_metrics = version.interval.insert_subtree(
             parent_pre, position, subtree)
-        # The model tree mirrors the change (it owns reference semantics).
-        parent.insert(position if position < len(element_children)
-                      else len(element_children), subtree)
+        # The clone's model tree mirrors the change (it owns reference
+        # semantics).
+        clone_children = [c for c in clone_parent.children()]
+        clone_parent.insert(position if position < len(clone_children)
+                            else len(clone_children), subtree)
 
         self._apply_insert_deltas(
-            document, subtree,
+            version, subtree,
             insert_pre=interval_metrics["inserted_at"],
             count=interval_metrics["inserted_nodes"],
             content_appended=succinct_metrics["content_appended"])
@@ -910,7 +1103,10 @@ class Database:
         """Delete the (single) element ``path`` selects, keeping every
         storage structure aligned.  Returns the stores' update metrics.
 
-        Takes the write lock: no query observes a mid-splice store.
+        Copy-on-write like :meth:`insert`: the splice happens on a
+        clone published as a new snapshot; pinned readers keep the
+        deleted subtree.  Takes the write lock only to serialize
+        against other writers.
         """
         with self.rwlock.write_locked():
             return self._delete_locked(path, uri)
@@ -926,30 +1122,79 @@ class Database:
         if victim.parent is None:
             raise ExecutionError("cannot delete the document element's "
                                  "parent")
-        # Validated: log + fsync before the first in-memory mutation.
+        # Validated: log + fsync before building the successor version.
         self._log_update({
             "op": "delete", "uri": document.uri, "path": path,
             "generation": document.generation + 1,
         })
         preorder = document.preorder_map[victim.node_id]
+        version = self._clone_version(document)
+        clone_victim = version.node_list[preorder]
 
         # Derived deltas that need pre-splice labels run first: the tag
         # index drops the doomed postings and the statistics retract the
         # subtree's contributions while every ``pre`` is still valid.
-        record = document.interval.node(preorder)
+        record = version.interval.node(preorder)
         count = record.end - record.pre + 1
-        doomed_records = document.interval.nodes[preorder:record.end + 1]
-        document.tag_index.apply_delete(doomed_records)
-        document.statistics.apply_delete(document.interval, preorder)
-        doomed_content = document.succinct.content_ids_in(preorder, count)
+        doomed_records = version.interval.nodes[preorder:record.end + 1]
+        version.tag_index.apply_delete(doomed_records)
+        version.statistics.apply_delete(version.interval, preorder)
+        doomed_content = version.succinct.content_ids_in(preorder, count)
 
-        succinct_metrics = document.succinct.delete_subtree(preorder)
-        interval_metrics = document.interval.delete_subtree(preorder)
-        victim.parent.remove(victim)
+        succinct_metrics = version.succinct.delete_subtree(preorder)
+        interval_metrics = version.interval.delete_subtree(preorder)
+        clone_victim.parent.remove(clone_victim)
 
-        self._apply_delete_deltas(document, preorder, count,
+        self._apply_delete_deltas(version, preorder, count,
                                   doomed_content)
         return {"succinct": succinct_metrics, "interval": interval_metrics}
+
+    # -- copy-on-write version construction ---------------------------------------
+
+    def _clone_version(self, base: DocumentVersion) -> DocumentVersion:
+        """An independent successor of ``base`` for a writer to splice.
+
+        Primary stores are cloned (succinct column copies; fresh
+        interval records — updates relabel them in place); derived
+        structures are rebuilt from their snapshot forms (the same
+        restore constructors recovery uses, so no index is recomputed
+        from scratch); the model tree is re-materialised from the
+        cloned interval store.  Immutable leaves (strings, the
+        balanced-parens directory) stay shared.  The clone starts with
+        a fresh strategy memo — its statistics generation carries over,
+        so hot patterns re-memoize after one cost-model pass.
+        """
+        uri = base.uri
+        succinct = base.succinct.clone()
+        interval = base.interval.clone()
+        tag_index = TagIndex.restore(
+            interval, base.tag_index.postings_snapshot(),
+            pages=self.pages)
+        statistics = DocumentStatistics.from_snapshot(
+            base.statistics.to_snapshot())
+        value_index = ContentIndex.restore(
+            succinct.content, base.value_index.to_snapshot(),
+            segment=self.pages.segment(f"value-btree:{uri}"))
+        numeric_index = ContentIndex.restore(
+            succinct.content, base.numeric_index.to_snapshot(),
+            segment=self.pages.segment(f"numeric-btree:{uri}"))
+        tree, node_list = materialise_tree(interval, uri)
+        version = DocumentVersion(
+            uri=uri, tree=tree, succinct=succinct, interval=interval,
+            tag_index=tag_index, statistics=statistics,
+            value_index=value_index, numeric_index=numeric_index,
+            runtime=None,  # type: ignore[arg-type]
+            node_list=node_list,
+            preorder_map={node.node_id: pre for pre, node
+                          in enumerate(node_list)},
+            generation=base.generation,
+            version_id=self._next_version_id())
+        version.runtime = MatchRuntime(
+            succinct, interval, tag_index, pages=self.pages,
+            residual_check=self._residual_checker(version),
+            value_index=value_index, numeric_index=numeric_index,
+            statistics=statistics)
+        return version
 
     # -- incremental derived maintenance ------------------------------------------
 
@@ -984,50 +1229,68 @@ class Database:
                              delete_pre, count)
         self._finish_update(document)
 
-    def _finish_update(self, document: LoadedDocument) -> None:
-        document.generation += 1
-        document.runtime.refresh_segments()
+    def _finish_update(self, version: DocumentVersion) -> None:
+        """Seal a fully spliced clone and make it the current version:
+        bump its generation, verify (in debug mode), publish the new
+        snapshot, and only then offer the checkpoint policy a safe
+        point (a checkpoint serializes ``self.documents``, so it must
+        run after the publish to capture what it just made durable)."""
+        version.generation += 1
+        version.runtime.refresh_segments()
         if self.debug_checks:
-            self.verify_derived(document)
+            self.verify_derived(version)
+        self._publish_version(version)
         if self.durability is not None:
-            # The logged operation is fully applied: safe point for the
-            # automatic checkpoint policy (suppressed during replay).
+            # The logged operation is fully applied and visible: safe
+            # point for the automatic checkpoint policy (suppressed
+            # during replay).
             self.durability.maybe_checkpoint(self)
 
     def rebuild_derived(self, uri: Optional[str] = None,
-                        force: bool = True) -> LoadedDocument:
+                        force: bool = True) -> DocumentVersion:
         """Escape hatch: rebuild every derived structure of ``uri``'s
-        document from the primary stores (the pre-incremental behaviour).
-        Takes the write lock.
+        document from the primary stores (the pre-incremental
+        behaviour), published as a new version.  Takes the write lock
+        (writer serialization only).
         """
         with self.rwlock.write_locked():
             document = self.document(uri)
             if force:
-                self._rebuild_derived(document)
+                return self._rebuild_derived(document)
             return document
 
-    def _rebuild_derived(self, document: LoadedDocument) -> None:
-        """Refresh the structures derived from the primary stores."""
-        generation = document.statistics.generation + 1
-        document.tag_index = TagIndex(document.interval, pages=self.pages)
-        document.statistics = DocumentStatistics(document.interval)
+    def _rebuild_derived(self, base: DocumentVersion) -> DocumentVersion:
+        """A successor version with freshly built derived structures.
+
+        The primary stores and the model tree are *shared* with
+        ``base``: writers only ever mutate clones, so sharing the
+        frozen primaries between versions is safe, and every derived
+        constructor here reads them without modification.
+        """
+        statistics = DocumentStatistics(base.interval)
         # Keep the statistics generation monotonic across rebuilds so
         # memoized strategy choices from older states cannot resurface.
-        document.statistics.generation = generation
-        document.value_index, document.numeric_index = \
-            self._build_value_indexes(document.succinct, document.uri)
-        document.node_list = storage_node_list(document.tree)
-        document.preorder_map = storage_preorder_map(document.tree)
-        document.runtime = MatchRuntime(
-            document.succinct, document.interval, document.tag_index,
-            pages=self.pages,
-            residual_check=self._residual_checker(document),
-            value_index=document.value_index,
-            numeric_index=document.numeric_index,
-            statistics=document.statistics)
-        with document.memo_lock:
-            document.strategy_memo.clear()
-        document.generation += 1
+        statistics.generation = base.statistics.generation + 1
+        tag_index = TagIndex(base.interval, pages=self.pages)
+        value_index, numeric_index = self._build_value_indexes(
+            base.succinct, base.uri)
+        version = DocumentVersion(
+            uri=base.uri, tree=base.tree, succinct=base.succinct,
+            interval=base.interval, tag_index=tag_index,
+            statistics=statistics, value_index=value_index,
+            numeric_index=numeric_index,
+            runtime=None,  # type: ignore[arg-type]
+            node_list=storage_node_list(base.tree),
+            preorder_map=storage_preorder_map(base.tree),
+            generation=base.generation + 1,
+            version_id=self._next_version_id())
+        version.runtime = MatchRuntime(
+            base.succinct, base.interval, tag_index, pages=self.pages,
+            residual_check=self._residual_checker(version),
+            value_index=value_index, numeric_index=numeric_index,
+            statistics=statistics)
+        self._publish_version(version)
+        return version
 
     def verify_derived(self, document: LoadedDocument) -> None:
         """Debug cross-check: every incrementally maintained structure
@@ -1056,17 +1319,16 @@ class Database:
             raise StorageError("incremental preorder map diverged")
 
     def loaded_for_tree(self, tree: model.Document
-                        ) -> Optional[LoadedDocument]:
-        """The LoadedDocument wrapping ``tree`` (identity match)."""
-        for document in self.documents.values():
-            if document.tree is tree:
-                return document
-        return None
+                        ) -> Optional[DocumentVersion]:
+        """The version wrapping ``tree`` in the *current* snapshot
+        (identity match).  Executors resolve through their pinned
+        snapshot instead; this is the fallback for contexts built
+        without one."""
+        return self._snapshot.version_for_tree(tree)
 
     def storage_report(self, uri: Optional[str] = None) -> dict:
         """Byte accounting of every storage structure (experiment E1)."""
-        with self.rwlock.read_locked():
-            return self._storage_report_locked(uri)
+        return self._storage_report_locked(uri)
 
     def _storage_report_locked(self, uri: Optional[str]) -> dict:
         document = self.document(uri)

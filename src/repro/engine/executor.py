@@ -13,11 +13,13 @@ output vertices) run through the NoK binding machinery.
 
 Thread contract: one :class:`PhysicalExecutionContext` belongs to one
 query execution on one thread — contexts are cheap and never shared
-across threads (``Database.query_many`` builds one per query).  The
-shared structures a context touches (documents, caches, tag/value
-indexes, the page manager, the per-document strategy memo) are protected
-by the database's reader-writer lock and their own internal locks, so
-any number of contexts may execute concurrently.
+across threads (``Database.query_many`` builds one per query).  A
+context carries the query's pinned ``DatabaseSnapshot``: every document
+version it touches is immutable, so execution needs no lock at all; the
+remaining shared mutable structures (the caches, the page manager, the
+per-version strategy memo) take their own internal locks, so any number
+of contexts may execute concurrently — including while a writer builds
+and publishes new versions.
 """
 
 from __future__ import annotations
@@ -44,10 +46,16 @@ class PhysicalExecutionContext(ExecutionContext):
     """Execution context that lowers τ nodes onto the storage engine."""
 
     def __init__(self, database, documents, context_node=None,
-                 strategy: str = "auto", variables: Optional[dict] = None):
+                 strategy: str = "auto", variables: Optional[dict] = None,
+                 snapshot=None):
         super().__init__(documents, variables=variables,
                          context_node=context_node)
         self.database = database
+        # The pinned DatabaseSnapshot this execution runs against; τ
+        # nodes resolve documents through it so a long-running query
+        # keeps one consistent version of everything even while writers
+        # publish successors.  None = resolve in the current snapshot.
+        self.snapshot = snapshot
         self.strategy = strategy
         # Shared across with_variables() copies so sub-plan executions
         # (FLWOR clause sources) report into the same query record.
@@ -73,6 +81,7 @@ class PhysicalExecutionContext(ExecutionContext):
         child.context_node = self.context_node
         child.interpreter = self.interpreter
         child.database = self.database
+        child.snapshot = self.snapshot
         child.strategy = self.strategy
         child._shared = self._shared
         child.accumulated_stats = self.accumulated_stats
@@ -87,7 +96,10 @@ class PhysicalExecutionContext(ExecutionContext):
         if not isinstance(scan, Scan):
             raise ExecutionError("tau input must be a document scan")
         tree = execute_plan(scan, self)
-        loaded = self.database.loaded_for_tree(tree)
+        if self.snapshot is not None:
+            loaded = self.snapshot.version_for_tree(tree)
+        else:
+            loaded = self.database.loaded_for_tree(tree)
         if loaded is None:
             raise ExecutionError(
                 f"document {getattr(tree, 'uri', '?')!r} has no storage "

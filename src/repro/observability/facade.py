@@ -166,6 +166,25 @@ class Observability:
             "Whether the write side is held (0/1).",
             lambda: 1 if lock.write_held else 0)
 
+        # MVCC: how often writers publish new snapshots, how many
+        # queries hold a pinned one right now, and which version each
+        # document is at — the dashboard counterparts of the lock
+        # gauges above (which, for queries, should now stay flat).
+        registry.register_pull(
+            "repro_version_publishes_total", "counter",
+            "Snapshot publishes (load/insert/delete/rebuild/restore).",
+            lambda: database.version_publishes)
+        registry.register_pull(
+            "repro_version_pins", "gauge",
+            "Queries currently executing against a pinned snapshot.",
+            lambda: database.active_pins)
+        registry.register_pull(
+            "repro_document_version", "gauge",
+            "Current version id per loaded document.",
+            lambda: {uri: doc.version_id
+                     for uri, doc in database.documents.items()},
+            labelnames=("uri",))
+
         registry.register_pull(
             "repro_documents_loaded", "gauge",
             "Documents currently loaded.",

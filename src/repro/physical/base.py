@@ -131,9 +131,10 @@ class MatchRuntime:
         Built on first use (one pass over the interval records) and
         reused by every subsequent columnar execution; concurrent
         readers racing on a cold view build it once under the lock.
-        Structural updates run under the engine's write lock and call
-        :meth:`invalidate_columns` (via :meth:`refresh_segments`), so a
-        view never outlives the labels it snapshots.
+        Under MVCC each :class:`DocumentVersion` owns its runtime, so
+        a view is a pure function of that version's frozen labels and
+        is shared by exactly the readers pinned on it; updates build a
+        new version (with a cold view) rather than patching this one.
         """
         view = self._columns
         if view is not None:

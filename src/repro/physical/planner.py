@@ -57,7 +57,9 @@ class PhysicalPlanner:
     generation)``, so a choice is reused for the repeated executions of
     a hot query but naturally expires whenever an update changes the
     document statistics.  The dict is owned by the caller (the engine
-    keeps one per loaded document) and survives planner instances.
+    keeps one per document *version* — successor versions start fresh,
+    so a memo can never leak across an MVCC publish) and survives
+    planner instances.
 
     ``memo_lock`` (optional) guards the memo dict: concurrent reader
     threads executing the same hot pattern read and fill it

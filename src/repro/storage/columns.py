@@ -65,6 +65,15 @@ class ColumnarView:
         self.level = level
         self.parent = parent
         self._tag_index = tag_index
+        if kinds is None:
+            # No succinct kind column supplied (e.g. a view built
+            # straight over interval records in tests, or a storage
+            # backend without one): derive it from the records rather
+            # than keeping ``None`` — a ``None`` column used to make
+            # ``kind_pres`` cache an *empty* array, so wildcard/kind
+            # vertices silently matched zero rows instead of erroring
+            # or falling back.
+            kinds = bytes(record.kind for record in nodes)
         self._kinds = kinds  # pre-order kind bytes (shared, not copied)
         self._tag_pres: dict[str, array] = {}
         self._kind_pres: dict[int, array] = {}
@@ -91,13 +100,18 @@ class ColumnarView:
         return pres
 
     def kind_pres(self, kind: int) -> array:
-        """Sorted pre ids of every node of ``kind`` (wildcard vertices)."""
+        """Sorted pre ids of every node of ``kind`` (wildcard vertices).
+
+        The kind column is always populated (``__init__`` derives it
+        from the interval records when the caller has none), so an
+        empty result here genuinely means "no nodes of that kind" —
+        never "column missing".
+        """
         pres = self._kind_pres.get(kind)
         if pres is None:
             pres = array("q")
-            if self._kinds is not None:
-                pres.extend(pre for pre, k in enumerate(self._kinds)
-                            if k == kind)
+            pres.extend(pre for pre, k in enumerate(self._kinds)
+                        if k == kind)
             self._kind_pres[kind] = pres
         return pres
 

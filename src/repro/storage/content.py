@@ -107,6 +107,18 @@ class ContentStore:
         pairs.sort()
         return pairs
 
+    def clone(self) -> "ContentStore":
+        """An independent copy for copy-on-write versioning: the new
+        heap shares no mutable state, so ``set_owner``/``mark_dead`` on
+        one version never shows through a reader pinned on another.
+        The strings themselves are immutable and stay shared."""
+        twin = ContentStore.__new__(ContentStore)
+        twin._buffer = list(self._buffer)
+        twin._offsets = list(self._offsets)
+        twin._owners = list(self._owners)
+        twin._dead = self._dead
+        return twin
+
     # -- serialization -------------------------------------------------------
 
     def to_snapshot(self) -> dict:

@@ -305,6 +305,29 @@ class IntervalDocument:
                 relabelled += 1
         return {"removed_nodes": removed, "relabelled": relabelled}
 
+    # -- versioning ------------------------------------------------------------------
+
+    def clone(self) -> "IntervalDocument":
+        """A record-deep copy for copy-on-write versioning.
+
+        ``insert_subtree``/``delete_subtree`` relabel records *in
+        place*, so the new version must own fresh :class:`IntervalNode`
+        objects — sharing them would show torn pre/post/end labels to
+        readers pinned on the old version.  Records are materialised via
+        ``__new__`` + a dict copy (the same fast path as
+        :meth:`from_snapshot`).
+        """
+        twin = IntervalDocument()
+        twin.uri = self.uri
+        new = IntervalNode.__new__
+        node_cls = IntervalNode
+        append = twin.nodes.append
+        for record in self.nodes:
+            copy = new(node_cls)
+            copy.__dict__ = dict(record.__dict__)
+            append(copy)
+        return twin
+
     # -- serialization ---------------------------------------------------------------
 
     def to_snapshot(self) -> dict:

@@ -557,6 +557,29 @@ class SuccinctDocument:
                 "snapshot tag/kind arrays disagree in length")
         return store
 
+    def clone(self) -> "SuccinctDocument":
+        """An independent copy for copy-on-write versioning.
+
+        Every mutable column (tags, kinds, symbol table, content heap,
+        preorder→content map) is copied, so the in-place splices of
+        :meth:`insert_subtree`/:meth:`delete_subtree` on the clone never
+        show through a reader pinned on the original.  The balanced-
+        parentheses directory is **shared**: :class:`BalancedParens` is
+        read-only after construction and both update paths replace
+        ``_bp`` wholesale with a freshly built instance, so the shared
+        object can never be patched under a pinned reader.
+        """
+        twin = SuccinctDocument()
+        twin.uri = self.uri
+        twin._bp = self._bp
+        twin._tags = list(self._tags)
+        twin._kinds = bytearray(self._kinds)
+        twin._symbols = list(self._symbols)
+        twin._symbol_ids = dict(self._symbol_ids)
+        twin._content = self._content.clone()
+        twin._content_of = dict(self._content_of)
+        return twin
+
     def columns(self) -> tuple[list[str], bytearray, dict[int, str]]:
         """Batch view for restore paths: (resolved tag per preorder,
         kind bytes, {preorder: content string}).  One pass over the

@@ -151,6 +151,141 @@ class TestRWLock:
             lock.release_write()
 
 
+class TestRWLockTimeoutRegressions:
+    """Failing-before/passing-after tests for the timeout bugfixes."""
+
+    def test_timed_out_writer_wakes_queued_readers(self):
+        """A writer that gives up must notify, or readers queued behind
+        its writer preference stay blocked until an unrelated notify
+        (before the fix this reader timed out after the full 2s)."""
+        lock = RWLock()
+        lock.acquire_read()              # main thread blocks the writer
+
+        def writer() -> None:
+            assert lock.acquire_write(timeout=0.05) is False
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        while lock.waiting_writers == 0:
+            time.sleep(0.001)
+        outcome: list = []
+
+        def late_reader() -> None:
+            started = time.perf_counter()
+            got = lock.acquire_read(timeout=2.0)
+            outcome.append((got, time.perf_counter() - started))
+            if got:
+                lock.release_read()
+
+        late = threading.Thread(target=late_reader)
+        late.start()                     # queues behind the writer
+        writer_thread.join()             # writer times out and exits
+        late.join()
+        lock.release_read()
+        got, waited = outcome[0]
+        assert got is True
+        # Must ride the timed-out writer's notify, not the 2s deadline.
+        assert waited < 1.0, f"reader stalled {waited:.3f}s"
+
+    def test_read_timeout_is_a_deadline(self):
+        """Repeated notifies must not extend the total wait: before the
+        fix each wakeup restarted a full ``timeout`` wait, so a reader
+        asking for 0.2s could block for as long as the writer held."""
+        lock = RWLock()
+        release = threading.Event()
+        held = threading.Event()
+
+        def holder() -> None:
+            with lock.write_locked():
+                held.set()
+                release.wait()
+
+        owner = threading.Thread(target=holder)
+        owner.start()
+        held.wait()
+        stop = threading.Event()
+
+        def heckler() -> None:
+            # Spurious wakeups every 10ms — each one restarted the
+            # 0.2s wait under the old per-iteration timeout.  Bounded
+            # at ~1.5s so a regressed lock overshoots measurably
+            # instead of hanging the suite.
+            for _ in range(150):
+                if stop.is_set():
+                    break
+                with lock._cond:
+                    lock._cond.notify_all()
+                time.sleep(0.01)
+
+        noise = threading.Thread(target=heckler)
+        noise.start()
+        try:
+            started = time.perf_counter()
+            got = lock.acquire_read(timeout=0.2)
+            waited = time.perf_counter() - started
+        finally:
+            stop.set()
+            noise.join()
+            release.set()
+            owner.join()
+        assert got is False
+        assert waited < 0.8, f"deadline overshot: {waited:.3f}s"
+
+    def test_write_timeout_is_a_deadline(self):
+        lock = RWLock()
+        release = threading.Event()
+        held = threading.Event()
+
+        def holder() -> None:
+            with lock.read_locked():
+                held.set()
+                release.wait()
+
+        owner = threading.Thread(target=holder)
+        owner.start()
+        held.wait()
+        stop = threading.Event()
+
+        def heckler() -> None:
+            for _ in range(150):
+                if stop.is_set():
+                    break
+                with lock._cond:
+                    lock._cond.notify_all()
+                time.sleep(0.01)
+
+        noise = threading.Thread(target=heckler)
+        noise.start()
+        try:
+            started = time.perf_counter()
+            got = lock.acquire_write(timeout=0.2)
+            waited = time.perf_counter() - started
+        finally:
+            stop.set()
+            noise.join()
+            release.set()
+            owner.join()
+        assert got is False
+        assert waited < 0.8, f"deadline overshot: {waited:.3f}s"
+
+    def test_observer_fires_on_reentrant_acquisitions(self):
+        """Acquisition *counts* must include reentrant fast paths (the
+        old code only observed first-level waits)."""
+        events: list = []
+        lock = RWLock(observer=lambda mode, waited:
+                      events.append((mode, waited)))
+        with lock.write_locked():
+            with lock.write_locked():        # reentrant write
+                with lock.read_locked():     # writer-nested read
+                    pass
+        with lock.read_locked():
+            with lock.read_locked():         # reentrant read
+                pass
+        modes = [mode for mode, _ in events]
+        assert modes == ["write", "write", "read", "read", "read"]
+        assert all(waited >= 0.0 for _, waited in events)
+
+
 # -- thread-safe caches ---------------------------------------------------------
 
 

@@ -59,7 +59,11 @@ class TestIncrementalPath:
         assert document.generation == 0
         db.insert("/shop", "<extra/>")
         db.delete("/shop/extra")
-        assert document.generation == 2
+        # MVCC: updates publish successor versions; the pinned one is
+        # frozen at its generation and the current one counts both.
+        assert document.generation == 0
+        assert db.document().generation == 2
+        assert db.document() is not document
 
     def test_rebuild_escape_hatch_matches_incremental(self, db):
         db.insert("/shop", '<item sku="y"><name>ny</name>'

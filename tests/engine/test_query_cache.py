@@ -192,12 +192,14 @@ class TestStrategyMemo:
     def test_memo_fills_and_expires_on_update(self, db):
         db.query("//book/title", strategy="auto")
         assert db.cache_report()["strategy_memo"]["bib.xml"] >= 1
-        document = db.document()
-        generation = document.statistics.generation
+        generation = db.document().statistics.generation
         db.insert("/bib", "<book><title>Y</title></book>")
+        # MVCC: the insert publishes a successor version whose
+        # statistics generation moved on; it starts with a fresh memo,
+        # so nothing stale can be consulted.  A fresh query memoizes
+        # under the new generation in the new version.
+        document = db.document()
         assert document.statistics.generation > generation
-        # Old-generation keys remain but are never consulted again; a
-        # fresh query memoizes under the new generation.
         db.result_cache.clear()
         db.query("//book/title", strategy="auto")
         assert any(key[1] == document.statistics.generation

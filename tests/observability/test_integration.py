@@ -170,7 +170,10 @@ class TestLockObservability:
         db.insert("/bib", "<book><title>New</title></book>")
         lock_wait = db.observability.registry.get(
             "repro_lock_wait_seconds")
-        assert lock_wait.count(mode="read") > 0
+        # MVCC: queries pin snapshots — the read-mode series must stay
+        # empty (queries acquire zero RWLock read locks); only the
+        # writer path (insert) touches the lock.
+        assert lock_wait.count(mode="read") == 0
         assert lock_wait.count(mode="write") > 0
 
     def test_holders_gauges(self):

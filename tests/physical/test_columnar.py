@@ -254,18 +254,65 @@ class TestViewLifecycle:
         assert view_a.node_count == db.document().succinct.node_count
         assert view_a.size_bytes() > 0
 
+    def test_kindless_view_matches_kinded_view(self, db):
+        """Regression: a view built without a succinct kind column used
+        to cache *empty* kind arrays — wildcard/kind vertices silently
+        matched zero rows.  ``kinds=None`` must now derive the column
+        from the interval records and agree with the kinded view."""
+        from repro.storage.columns import ColumnarView
+
+        document = db.document()
+        kinded = ColumnarView(document.interval, document.tag_index,
+                              kinds=document.succinct._kinds)
+        kindless = ColumnarView(document.interval, document.tag_index,
+                                kinds=None)
+        assert list(kindless.element_pres()) == list(kinded.element_pres())
+        assert list(kindless.attribute_pres()) == \
+            list(kinded.attribute_pres())
+        assert list(kindless.text_pres()) == list(kinded.text_pres())
+        # The fixture has elements, attributes (@id) and text nodes —
+        # none of these may be empty (the old bug's symptom).
+        assert len(kindless.element_pres()) > 0
+        assert len(kindless.attribute_pres()) > 0
+        assert len(kindless.text_pres()) > 0
+
+    def test_kindless_runtime_queries_match(self):
+        """End-to-end: a runtime whose succinct store exposes no
+        ``_kinds`` attribute (``physical/base.py`` probes it with
+        ``getattr``) still answers kind-probing columnar queries
+        correctly — the view derives the column instead of silently
+        matching zero rows."""
+        database = Database(result_cache_size=0)
+        database.load(SAMPLE, uri="site.xml")
+        reference = database.query("//@id",
+                                   strategy="navigational").values()
+        document = database.document()
+        original = document.succinct._kinds
+        try:
+            del document.succinct._kinds
+            result = database.query("//@id", strategy="columnar")
+        finally:
+            document.succinct._kinds = original
+        assert result.values() == reference and reference
+
     def test_update_invalidates_view(self):
         database = Database(columnar="on", result_cache_size=0)
         database.load("<r><a><b/></a></r>", uri="u.xml")
         runtime = database.document().runtime
         before = database.query("//b").items
         assert len(before) == 1
-        builds = runtime.column_builds
+        assert runtime.column_builds == 1
         database.insert("/r/a", "<b/>")
         after = database.query("//b")
         assert after.strategy == "columnar"
         assert len(after.items) == 2
-        assert runtime.column_builds == builds + 1
+        # MVCC: the insert published a successor version with its own
+        # runtime; the new version builds its own view once, while the
+        # pinned version's view stays valid for readers still on it.
+        new_runtime = database.document().runtime
+        assert new_runtime is not runtime
+        assert new_runtime.column_builds == 1
+        assert runtime.column_builds == 1
 
     def test_delete_invalidates_view(self):
         database = Database(columnar="on", result_cache_size=0)
