@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Serve an XMark database over the network.
+
+Builds a durable data directory (one checkpoint generation of a
+generated XMark document), starts the multi-process query server on it,
+and talks to it through both transports the server multiplexes on one
+port:
+
+* the length-prefixed binary protocol (:class:`repro.server.ServerClient`
+  — pooled connections, typed errors, retry-on-reconnect), and
+* plain HTTP/JSON (``POST /query``, ``GET /metrics``).
+
+By default this runs a short scripted demo and exits.  Pass ``--serve``
+to keep the server in the foreground (stop with Ctrl-C / SIGTERM — the
+drain finishes in-flight queries first)::
+
+    python examples/serve_xmark.py                  # scripted demo
+    python examples/serve_xmark.py --serve          # long-running server
+    python examples/serve_xmark.py --workers 4      # bigger pool
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.database import Database
+from repro.server import ServerClient, ServerFrontend
+from repro.workload import generate_xmark
+from repro.xml.serializer import serialize
+
+DEMO_QUERIES = [
+    "//item/name",
+    "//item[payment = 'Creditcard']",
+    "count(//item)",
+    "//person/name",
+]
+
+
+def build_data_dir(directory: str, scale: int) -> None:
+    """One checkpoint generation of xmark data for workers to open."""
+    database = Database.open(directory)
+    database.load(serialize(generate_xmark(scale=scale, seed=42)),
+                  uri="xmark.xml")
+    database.checkpoint()
+    database.close()
+
+
+def demo(frontend: ServerFrontend) -> None:
+    host, port = frontend.address
+    with ServerClient(host, port) as client:
+        print(f"ping: {client.ping()}")
+        for query in DEMO_QUERIES:
+            response = client.query(query)
+            print(f"  {query!r:40s} -> {response['count']:4d} items "
+                  f"via {response['strategy']} "
+                  f"({response['elapsed_seconds'] * 1e3:.1f} ms)")
+        print(f"explain: {client.explain('//item/name')!r:.70s}")
+
+    # The same port speaks HTTP/JSON: POST a query, scrape /metrics.
+    body = json.dumps({"text": "count(//item)"}).encode()
+    request = urllib.request.Request(
+        f"http://{host}:{port}/query", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as reply:
+        print(f"HTTP /query: {json.loads(reply.read())['items']}")
+    with urllib.request.urlopen(f"http://{host}:{port}/metrics") as reply:
+        exposition = reply.read().decode()
+    served = [line for line in exposition.splitlines()
+              if line.startswith("repro_server_requests_total")]
+    print("HTTP /metrics (server families):")
+    for line in served[:6]:
+        print(f"  {line}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--data-dir", default=None,
+                        help="durable directory (default: a tempdir)")
+    parser.add_argument("--scale", type=int, default=40,
+                        help="xmark scale factor (default 40)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="bind port (default: pick a free one)")
+    parser.add_argument("--serve", action="store_true",
+                        help="stay in the foreground after the demo")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        data_dir = args.data_dir or str(Path(scratch) / "xmark.db")
+        print(f"building xmark-{args.scale} data dir at {data_dir} ...")
+        build_data_dir(data_dir, args.scale)
+
+        frontend = ServerFrontend(port=args.port, data_dir=data_dir,
+                                  workers=args.workers)
+        with frontend:
+            host, port = frontend.address
+            print(f"serving on {host}:{port} with {args.workers} "
+                  f"worker process(es)\n")
+            demo(frontend)
+            if args.serve:
+                print("\nserving until SIGTERM/Ctrl-C ...")
+                frontend.serve_forever()
+            else:
+                report = frontend.drain()
+                print(f"\ndrained cleanly: {report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

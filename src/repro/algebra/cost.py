@@ -215,20 +215,27 @@ class CostModel:
     def columnar_cost(self, pattern: PatternGraph):
         """Vectorized semi-joins over label columns: the same posting
         pages as the holistic joins, but the per-entry CPU constant is a
-        bisect/set probe instead of node-at-a-time dispatch.  Returns
-        ``None`` for patterns the batch kernels cannot evaluate."""
+        bisect/set probe instead of node-at-a-time dispatch.  A vertex
+        with residual predicates pays the reference evaluator once per
+        candidate in its window (the batch post-filter), which is
+        orders of magnitude above a bisect probe — the heavy per-entry
+        weight keeps ``auto`` mode from picking the columnar path when
+        a big window must be residual-checked.  Returns ``None`` for
+        patterns the batch kernels cannot evaluate."""
         from repro.physical.columnar import columnar_eligible
 
         if not columnar_eligible(pattern):
             return None
         pages = 0.0
         cpu = 0.0
-        for vertex_id in pattern.vertices:
+        for vertex_id, vertex in pattern.vertices.items():
             if vertex_id == pattern.root:
                 continue
             count = self._vertex_posting_count(pattern, vertex_id)
             pages += self._posting_pages(count)
             cpu += 0.2 * count
+            if vertex.residual:
+                cpu += 50.0 * count * len(vertex.residual)
         return CostEstimate("columnar", pages=pages, cpu=cpu)
 
     def navigational_cost(self, pattern: PatternGraph) -> CostEstimate:

@@ -58,14 +58,22 @@ class DurabilityManager:
     wal_opener / snapshot_opener:
         Injectable file openers (the crash harness substitutes
         :class:`~tests.durability.faults.FaultingFile` factories).
+    read_only:
+        Recover without mutating the directory: the WAL suffix is
+        replayed in memory but torn tails are left on disk untouched
+        and no WAL is opened for appending (``log`` stays a no-op).
+        Used by server worker processes sharing a primary's directory.
     """
 
     def __init__(self, directory, *, checkpoint_every: int = 256,
                  fsync: bool = True, keep_generations: int = 2,
                  wal_opener: Optional[Opener] = None,
-                 snapshot_opener: Optional[Opener] = None):
+                 snapshot_opener: Optional[Opener] = None,
+                 read_only: bool = False):
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.read_only = read_only
+        if not read_only:
+            self.directory.mkdir(parents=True, exist_ok=True)
         self.checkpoint_every = checkpoint_every
         self.fsync = fsync
         self.keep_generations = max(1, keep_generations)

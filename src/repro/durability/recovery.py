@@ -34,7 +34,7 @@ from repro.durability.checkpoint import (
     wal_path,
 )
 from repro.durability.snapshot import read_snapshot
-from repro.durability.wal import WriteAheadLog
+from repro.durability.wal import WriteAheadLog, read_records
 
 __all__ = ["recover"]
 
@@ -83,17 +83,29 @@ def recover(manager, database) -> dict:
         for generation in replay_wals:
             path = wal_path(directory, generation)
             size_before = path.stat().st_size
-            try:
-                wal, records = WriteAheadLog.open(
-                    path, fsync=manager.fsync, opener=manager.wal_opener)
-            except WALCorruptError:
-                # A WAL whose very header is damaged contributes
-                # nothing; the snapshot for its generation already
-                # holds everything earlier.
-                corrupt.append(generation)
-                continue
-            truncated += max(0, size_before - wal.size_bytes)
-            wal.close()
+            if getattr(manager, "read_only", False):
+                # Read-only openers must not repair the directory: a
+                # torn tail is parsed around (lenient read) and left on
+                # disk for the writing primary to truncate.
+                try:
+                    records, valid_length, _ = read_records(path)
+                except WALCorruptError:
+                    corrupt.append(generation)
+                    continue
+                truncated += max(0, size_before - valid_length)
+            else:
+                try:
+                    wal, records = WriteAheadLog.open(
+                        path, fsync=manager.fsync,
+                        opener=manager.wal_opener)
+                except WALCorruptError:
+                    # A WAL whose very header is damaged contributes
+                    # nothing; the snapshot for its generation already
+                    # holds everything earlier.
+                    corrupt.append(generation)
+                    continue
+                truncated += max(0, size_before - wal.size_bytes)
+                wal.close()
             for record in records:
                 database._replay_record(record)
                 replayed += 1
@@ -107,9 +119,12 @@ def recover(manager, database) -> dict:
         [replay_from] + generations["snapshots"] + generations["wals"]
         + corrupt)
     manager.generation = highest
-    current = wal_path(directory, highest)
-    manager.wal, _ = WriteAheadLog.open(
-        current, fsync=manager.fsync, opener=manager.wal_opener)
+    if getattr(manager, "read_only", False):
+        manager.wal = None  # log() stays a no-op; directory untouched
+    else:
+        current = wal_path(directory, highest)
+        manager.wal, _ = WriteAheadLog.open(
+            current, fsync=manager.fsync, opener=manager.wal_opener)
 
     if database.debug_checks:
         for document in list(database.documents.values()):

@@ -324,11 +324,13 @@ class PreparedQuery:
         self.plan = plan
 
     def run(self, strategy: str = "auto", uri: Optional[str] = None,
-            variables: Optional[dict] = None):
+            variables: Optional[dict] = None,
+            timeout_seconds: Optional[float] = None):
         """Execute; same contract as :meth:`Database.query`."""
         return self.database._run_compiled(
             self.text, self.plan, plan_hit=True, strategy=strategy,
-            uri=uri, variables=variables)
+            uri=uri, variables=variables,
+            timeout_seconds=timeout_seconds)
 
     __call__ = run
 

@@ -300,6 +300,9 @@ class Database:
         self._active_pins = 0
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
+        # Set by Database.open(read_only=True); guards every public
+        # structural-update entry point (_check_writable).
+        self.read_only = False
         self.debug_checks = (debug_checks
                              or bool(os.environ.get("REPRO_DEBUG_UPDATES")))
         # Set by Database.open(); None = a purely in-memory database.
@@ -388,7 +391,7 @@ class Database:
     def open(cls, directory, *, checkpoint_every: int = 256,
              fsync: bool = True, keep_generations: int = 2,
              wal_opener=None, snapshot_opener=None,
-             **kwargs) -> "Database":
+             read_only: bool = False, **kwargs) -> "Database":
         """Open (or create) a *durable* database backed by ``directory``.
 
         Recovery runs before this returns: the newest valid snapshot is
@@ -402,17 +405,35 @@ class Database:
         works).  ``wal_opener`` / ``snapshot_opener`` are injectable
         file factories for the crash-injection test harness.  Remaining
         ``kwargs`` go to the :class:`Database` constructor.
+
+        ``read_only=True`` opens the directory without mutating it at
+        all: recovery replays the WAL suffix in memory but never
+        truncates torn tails, no WAL is opened for appending, and every
+        structural update (``load``/``insert``/``delete``/
+        ``rebuild_derived``/``checkpoint``) raises.  This is how the
+        query server's worker processes share one data directory with a
+        writing primary — each worker serves its pinned snapshot
+        generation and re-opens on reload (see
+        :mod:`repro.server.worker`).
         """
         database = cls(**kwargs)
+        database.read_only = read_only
         manager = DurabilityManager(
             directory, checkpoint_every=checkpoint_every, fsync=fsync,
             keep_generations=keep_generations, wal_opener=wal_opener,
-            snapshot_opener=snapshot_opener)
+            snapshot_opener=snapshot_opener, read_only=read_only)
         database.durability = manager
         manager.tracer = database.observability.tracer
         with database.rwlock.write_locked():
             manager.attach(database)
         return database
+
+    def _check_writable(self, operation: str) -> None:
+        if self.read_only:
+            raise ExecutionError(
+                f"{operation} is not allowed: this database was opened "
+                f"read-only (a server worker sharing the data "
+                f"directory)")
 
     def close(self) -> None:
         """Close the durable backing (flushes nothing — every logged
@@ -424,6 +445,7 @@ class Database:
 
     def checkpoint(self) -> dict:
         """Write a snapshot generation and rotate the WAL (exclusive)."""
+        self._check_writable("checkpoint")
         if self.durability is None:
             raise ExecutionError(
                 "checkpoint() requires a durable database — use "
@@ -541,6 +563,7 @@ class Database:
         a checkpoint, so the bulk XML text never has to be replayed on
         the common recovery path — reopening restores the snapshot.
         """
+        self._check_writable("load")
         with self.rwlock.write_locked():
             self._log_update({"op": "load", "uri": uri,
                               "xml": serialize(tree)})
@@ -669,7 +692,8 @@ class Database:
 
     def query(self, text: str, strategy: str = "auto",
               uri: Optional[str] = None,
-              variables: Optional[dict] = None) -> QueryResult:
+              variables: Optional[dict] = None,
+              timeout_seconds: Optional[float] = None) -> QueryResult:
         """Run an XPath/XQuery expression.
 
         ``strategy`` selects the physical pattern-matching strategy (one
@@ -677,6 +701,13 @@ class Database:
         model.  ``uri`` picks the context document for absolute paths.
         ``variables`` provides external bindings, e.g.
         ``db.query("//book[title = $t]", variables={"t": ["TCP/IP"]})``.
+
+        ``timeout_seconds`` sets a wall-clock deadline for the
+        execution: the executor checks it cooperatively between τ
+        batches and raises :class:`~repro.errors.QueryTimeoutError`
+        once exceeded (counted in ``repro_query_timeouts_total``).  The
+        network server threads each request's deadline through here so
+        a slow query cannot pin a worker forever.
 
         Compilation goes through the plan cache; read-only executions
         without variables additionally consult the result cache (see
@@ -688,7 +719,8 @@ class Database:
         plan, plan_hit = self._compiled_plan(text)
         return self._run_compiled(text, plan, plan_hit=plan_hit,
                                   strategy=strategy, uri=uri,
-                                  variables=variables)
+                                  variables=variables,
+                                  timeout_seconds=timeout_seconds)
 
     def query_many(self,
                    queries: Iterable[Union[str, PreparedQuery]],
@@ -722,7 +754,9 @@ class Database:
 
     def _run_compiled(self, text: str, plan, plan_hit: bool,
                       strategy: str, uri: Optional[str],
-                      variables: Optional[dict]) -> QueryResult:
+                      variables: Optional[dict],
+                      timeout_seconds: Optional[float] = None
+                      ) -> QueryResult:
         """Execute a compiled plan through the result cache.
 
         **Lock-free**: the query pins the current
@@ -736,6 +770,8 @@ class Database:
             raise ExecutionError(
                 f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
         started = time.perf_counter()
+        deadline = (None if timeout_seconds is None
+                    else time.monotonic() + timeout_seconds)
         cacheable = not variables
         observability = self.observability
         with observability.tracer.span("query", strategy=strategy) \
@@ -773,7 +809,8 @@ class Database:
                                 self.pages.thread_snapshot()})
                 context = self._execution_context(uri, strategy,
                                                   variables=variables,
-                                                  snapshot=snapshot)
+                                                  snapshot=snapshot,
+                                                  deadline=deadline)
                 # Snapshot-and-diff the calling thread's *own* I/O
                 # counters (the seed diffed — and before that reset —
                 # the shared ones, which races under concurrent
@@ -849,6 +886,150 @@ class Database:
         """Every registered metric in Prometheus text exposition
         format (``MetricsRegistry.render_prometheus``)."""
         return self.observability.render_prometheus()
+
+    # -- network entry point -------------------------------------------------------
+
+    def execute_request(self, request: dict) -> dict:
+        """Execute one server-shaped request and return a response
+        dict of wire-safe primitives (str/int/float/bool/None and
+        lists/dicts of them) — the query server's single engine entry
+        point, used identically by the in-process frontend and by
+        worker processes (see :mod:`repro.server`).
+
+        ``request["verb"]`` selects the operation:
+
+        ``query``
+            ``text`` plus optional ``strategy``/``uri``/``variables``/
+            ``timeout_seconds``/``output`` (``"values"`` — node string
+            values, the default — or ``"xml"`` — one serialized
+            document fragment per item).
+        ``prepare``
+            Compile ``text`` into the plan cache (warms the serving
+            path; the plan itself stays server-side).
+        ``explain``
+            The logical plan + per-τ strategy explanation for ``text``.
+        ``metrics``
+            The Prometheus exposition text (``metrics_text``).
+        ``admin``
+            ``action`` in ``ping`` / ``stats`` / ``generation``.
+
+        Failures raise the engine's normal typed exceptions
+        (:class:`~repro.errors.QuerySyntaxError`,
+        :class:`~repro.errors.QueryTimeoutError`, ...); the protocol
+        layer maps them to wire error codes — this method knows
+        nothing about framing.
+        """
+        if not isinstance(request, dict):
+            raise ExecutionError("request must be a dictionary")
+        verb = request.get("verb")
+        if verb == "query":
+            return self._query_request(request)
+        if verb == "prepare":
+            text = self._request_text(request)
+            _, was_hit = self._compiled_plan(text)
+            return {"ok": True, "verb": "prepare",
+                    "cached": bool(was_hit)}
+        if verb == "explain":
+            text = self._request_text(request)
+            explanation = self.explain(
+                text, strategy=request.get("strategy") or "auto",
+                uri=request.get("uri"))
+            return {"ok": True, "verb": "explain",
+                    "explanation": str(explanation)}
+        if verb == "metrics":
+            return {"ok": True, "verb": "metrics",
+                    "text": self.metrics_text()}
+        if verb == "admin":
+            return self._admin_request(request)
+        raise ExecutionError(
+            f"unknown request verb {verb!r}; expected one of "
+            f"query/prepare/explain/metrics/admin")
+
+    @staticmethod
+    def _request_text(request: dict) -> str:
+        text = request.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise ExecutionError(
+                "request needs a non-empty string 'text'")
+        return text
+
+    def _query_request(self, request: dict) -> dict:
+        text = self._request_text(request)
+        variables = request.get("variables")
+        if variables is not None and not isinstance(variables, dict):
+            raise ExecutionError("'variables' must be a dictionary")
+        timeout = request.get("timeout_seconds")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ExecutionError(
+                    "'timeout_seconds' must be positive")
+        result = self.query(
+            text, strategy=request.get("strategy") or "auto",
+            uri=request.get("uri"), variables=variables,
+            timeout_seconds=timeout)
+        output = request.get("output") or "values"
+        if output == "xml":
+            items = [serialize(item) if isinstance(item, model.Node)
+                     else str(item) for item in result.items]
+        elif output == "values":
+            items = [item if isinstance(
+                         item, (str, int, float, bool, type(None)))
+                     else item.string_value()
+                     if isinstance(item, model.Node) else str(item)
+                     for item in result.values()]
+        else:
+            raise ExecutionError(
+                f"unknown output mode {output!r}; expected "
+                f"'values' or 'xml'")
+        stats = {key: result.stats.get(key, 0)
+                 for key in ("nodes_visited", "postings_scanned",
+                             "intermediate_results",
+                             "structural_joins", "solutions")}
+        cache = result.stats.get("cache", {})
+        return {"ok": True, "verb": "query", "items": items,
+                "count": len(items), "strategy": result.strategy,
+                "elapsed_seconds": result.elapsed_seconds,
+                "stats": stats,
+                "source": cache.get("result", "miss")}
+
+    def _admin_request(self, request: dict) -> dict:
+        action = request.get("action") or "ping"
+        if action == "ping":
+            return {"ok": True, "verb": "admin", "action": "ping",
+                    "pong": True, "read_only": self.read_only,
+                    "documents": len(self.documents)}
+        if action == "stats":
+            snapshot = self._snapshot
+            report = {
+                "documents": {uri: doc.succinct.node_count
+                              for uri, doc
+                              in snapshot.documents.items()},
+                "load_epoch": snapshot.load_epoch,
+                "version_publishes": self._publishes,
+                "plan_cache": self.plan_cache.report(),
+                "result_cache": self.result_cache.report(),
+                "read_only": self.read_only,
+            }
+            return {"ok": True, "verb": "admin", "action": "stats",
+                    "stats": report}
+        if action == "generation":
+            manager = self.durability
+            recovery = (manager.last_recovery or {}) \
+                if manager is not None else {}
+            return {
+                "ok": True, "verb": "admin", "action": "generation",
+                "durable": manager is not None,
+                "generation": (manager.generation
+                               if manager is not None else None),
+                "snapshot_generation": recovery.get(
+                    "snapshot_generation"),
+                "wal_records_replayed": recovery.get(
+                    "wal_records_replayed", 0),
+            }
+        raise ExecutionError(
+            f"unknown admin action {action!r}; expected one of "
+            f"ping/stats/generation")
 
     def cache_report(self) -> dict:
         """Counters and occupancy of every serving-layer cache."""
@@ -979,7 +1160,8 @@ class Database:
 
     def _execution_context(self, uri: Optional[str], strategy: str,
                            variables: Optional[dict] = None,
-                           snapshot: Optional[DatabaseSnapshot] = None
+                           snapshot: Optional[DatabaseSnapshot] = None,
+                           deadline: Optional[float] = None
                            ) -> PhysicalExecutionContext:
         """An execution context over one pinned snapshot (defaults to
         pinning the current one) — every document the plan touches
@@ -992,7 +1174,7 @@ class Database:
         return PhysicalExecutionContext(
             database=self, documents=trees,
             context_node=document.tree, strategy=strategy,
-            variables=variables, snapshot=snapshot)
+            variables=variables, snapshot=snapshot, deadline=deadline)
 
     def planner_for(self, document: DocumentVersion) -> PhysicalPlanner:
         """A physical planner over one version's statistics, with that
@@ -1033,6 +1215,7 @@ class Database:
 
         Takes the write lock only to serialize against other writers.
         """
+        self._check_writable("insert")
         with self.rwlock.write_locked():
             return self._insert_locked(parent_path, fragment, position,
                                        uri)
@@ -1108,6 +1291,7 @@ class Database:
         deleted subtree.  Takes the write lock only to serialize
         against other writers.
         """
+        self._check_writable("delete")
         with self.rwlock.write_locked():
             return self._delete_locked(path, uri)
 
@@ -1253,6 +1437,7 @@ class Database:
         behaviour), published as a new version.  Takes the write lock
         (writer serialization only).
         """
+        self._check_writable("rebuild_derived")
         with self.rwlock.write_locked():
             document = self.document(uri)
             if force:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryTimeoutError
 from repro.xml import model
 from repro.algebra.plan import (
     ExecutionContext,
@@ -47,7 +47,7 @@ class PhysicalExecutionContext(ExecutionContext):
 
     def __init__(self, database, documents, context_node=None,
                  strategy: str = "auto", variables: Optional[dict] = None,
-                 snapshot=None):
+                 snapshot=None, deadline: Optional[float] = None):
         super().__init__(documents, variables=variables,
                          context_node=context_node)
         self.database = database
@@ -57,6 +57,12 @@ class PhysicalExecutionContext(ExecutionContext):
         # publish successors.  None = resolve in the current snapshot.
         self.snapshot = snapshot
         self.strategy = strategy
+        # Wall-clock deadline (time.monotonic() reference) after which
+        # execution must abort with QueryTimeoutError.  Checked
+        # cooperatively between τ batches — see check_deadline() — so a
+        # server-side timeout stops a runaway structural join instead of
+        # leaking the worker thread.  None = no deadline.
+        self.deadline = deadline
         # Shared across with_variables() copies so sub-plan executions
         # (FLWOR clause sources) report into the same query record.
         self._shared = {"last_strategy": None}
@@ -83,15 +89,29 @@ class PhysicalExecutionContext(ExecutionContext):
         child.database = self.database
         child.snapshot = self.snapshot
         child.strategy = self.strategy
+        child.deadline = self.deadline
         child._shared = self._shared
         child.accumulated_stats = self.accumulated_stats
         child.analyze_records = self.analyze_records
         return child
 
+    def check_deadline(self) -> None:
+        """Abort with :class:`QueryTimeoutError` once the deadline has
+        passed.  Called between τ batches (every run_plan dispatch, τ
+        entry, and periodically inside the construct loop), so FLWOR
+        iterations and multi-τ plans abort within one batch of the
+        deadline instead of running to completion."""
+        if self.deadline is not None \
+                and time.monotonic() >= self.deadline:
+            raise QueryTimeoutError(
+                "query exceeded its wall-clock deadline "
+                "(aborted cooperatively between tau batches)")
+
     # -- physical tau ------------------------------------------------------------
 
     def run_tau(self, plan: Tau) -> list:
         """Execute a τ over the loaded storage; returns model nodes."""
+        self.check_deadline()
         scan = plan.inputs[0]
         if not isinstance(scan, Scan):
             raise ExecutionError("tau input must be a document scan")
@@ -142,7 +162,14 @@ class PhysicalExecutionContext(ExecutionContext):
         # the (storage-agnostic) plan.
         with (tracer.span("construct") if tracer is not None
               else NULL_SPAN):
-            return [loaded.node_for(preorder) for preorder in matches]
+            if self.deadline is None or len(matches) <= 4096:
+                return [loaded.node_for(preorder) for preorder in matches]
+            nodes = []
+            for start in range(0, len(matches), 4096):
+                self.check_deadline()
+                nodes.extend(loaded.node_for(preorder)
+                             for preorder in matches[start:start + 4096])
+            return nodes
 
     def _record_analysis(self, plan: Tau, planner, loaded, stats,
                          used: str, rows: int, io_before: dict,
@@ -199,6 +226,7 @@ def run_plan(plan: PlanNode, context: PhysicalExecutionContext):
     """Execute ``plan`` with physical τ lowering; other node types reuse
     the logical executor (which calls back into this function for
     sub-plans through the EnvBuild machinery)."""
+    context.check_deadline()
     if isinstance(plan, Tau) and plan.inputs \
             and isinstance(plan.inputs[0], Scan):
         return context.run_tau(plan)

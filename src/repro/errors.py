@@ -93,3 +93,51 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised by physical operators when execution fails at run time."""
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its wall-clock deadline and was aborted
+    cooperatively (checked between τ batches — see
+    :meth:`repro.engine.executor.PhysicalExecutionContext.check_deadline`).
+    The network server maps this to a typed ``TIMEOUT`` response."""
+
+
+class ProtocolError(ReproError):
+    """The network framing layer saw bytes it cannot trust: a truncated
+    frame, a CRC mismatch, an oversized length prefix, or a payload
+    that is not a request/response dictionary.  Connections that raise
+    this are closed — frames after a framing error are unreadable."""
+
+
+class ServerError(ReproError):
+    """Base class for query-server failures; ``code`` is the wire-level
+    error code the protocol carries (subclasses refine it)."""
+
+    code = "INTERNAL"
+
+
+class ServerBusyError(ServerError):
+    """The server's bounded admission queue was full — the typed BUSY
+    rejection.  The request was *not* executed; retrying after backoff
+    is safe."""
+
+    code = "BUSY"
+
+
+class ServerDrainingError(ServerError):
+    """The server is draining (graceful shutdown): in-flight requests
+    finish, new ones are rejected with this typed error."""
+
+    code = "DRAINING"
+
+
+class RemoteQueryError(ServerError):
+    """A query shipped to the server failed remotely.  ``remote_type``
+    carries the server-side exception class name (``QuerySyntaxError``,
+    ``ExecutionError``, ...)."""
+
+    code = "QUERY_ERROR"
+
+    def __init__(self, message: str, remote_type: str | None = None):
+        super().__init__(message)
+        self.remote_type = remote_type

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import QueryTimeoutError
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.slowlog import QueryErrorLog, SlowQueryLog
 from repro.observability.tracing import Tracer
@@ -59,6 +60,10 @@ class Observability:
             "repro_query_errors_total",
             "Queries that raised, by exception class.",
             labelnames=("exception",))
+        self.query_timeouts_total = registry.counter(
+            "repro_query_timeouts_total",
+            "Queries aborted at their wall-clock deadline (cooperative "
+            "tau-batch checks; see Database.query timeout_seconds).")
         self.lock_wait = registry.histogram(
             "repro_lock_wait_seconds",
             "RWLock acquisition wait time, by side.",
@@ -93,6 +98,8 @@ class Observability:
         preserved here so it never leaks out of every ledger)."""
         self.query_errors_total.inc(
             1, exception=type(exception).__name__)
+        if isinstance(exception, QueryTimeoutError):
+            self.query_timeouts_total.inc(1)
         self.error_log.record(exception, text=text,
                               elapsed_seconds=elapsed_seconds,
                               io=dict(io))

@@ -24,9 +24,14 @@ is the pattern answer, item for item — but every loop body here is a
 ``bisect`` call, a set probe, or a dict lookup over machine integers, so
 the per-candidate constant is a fraction of the per-node object dance.
 
-Eligibility (:func:`columnar_eligible`): one output vertex, no residual
-predicates (those need the engine's model-tree callback, node at a
-time), and only ``/ // @ ~`` edges.  Ineligible patterns raise
+Eligibility (:func:`columnar_eligible`): one output vertex and only
+``/ // @ ~`` edges.  Residual predicates are supported via a **batch
+post-filter**: each vertex's candidate window is run through the
+engine's reference-evaluator callback (``runtime.residual_ok``) right
+after the bisect window-shrink and value-constraint filters, while the
+list is at its smallest — the same node-local check every join
+strategy applies, so parity is exact; the semi-join passes then only
+see survivors.  A runtime without a residual checker raises
 :class:`~repro.errors.ExecutionError` so the planner falls back to the
 node-at-a-time operators.
 """
@@ -60,13 +65,12 @@ _SUPPORTED_RELATIONS = frozenset(
 def columnar_eligible(pattern: PatternGraph) -> bool:
     """Can the batch kernels evaluate this pattern exactly?
 
-    Value constraints are fine (checked once per candidate while the
-    lists are still small); residual predicates are not, because they
-    re-enter the reference evaluator per node.
+    Value constraints and residual predicates are both fine: each is
+    checked once per candidate while the per-vertex lists are still
+    small (residuals re-enter the reference evaluator per surviving
+    candidate — the batch post-filter in ``_initial_candidates``).
     """
     if len(pattern.output_vertices()) != 1:
-        return False
-    if pattern.has_residuals():
         return False
     return all(edge.relation in _SUPPORTED_RELATIONS
                for edge in pattern.edges)
@@ -85,8 +89,8 @@ class ColumnarMatcher:
         pattern = self.pattern
         if not columnar_eligible(pattern):
             raise ExecutionError(
-                "pattern is not columnar-eligible (multi-output, residual "
-                "predicates, or an unsupported relation)")
+                "pattern is not columnar-eligible (multi-output or an "
+                "unsupported relation)")
         output_vertex = single_output_vertex(pattern)
         builds_before = runtime.column_builds
         view = runtime.columnar_view()
@@ -130,17 +134,29 @@ class ColumnarMatcher:
         candidates: dict[int, object] = {}
         for vertex_id, vertex in pattern.vertices.items():
             if vertex_id == pattern.root:
-                candidates[vertex_id] = [root_pre]
-                continue
-            pres = self._vertex_pres(runtime, view, vertex)
-            # Shrink to the context window with two probes; everything
-            # outside (root_pre, root_end] can never join.
-            lo = bisect_left(pres, root_pre)
-            hi = bisect_right(pres, root_end)
-            window = pres[lo:hi]
-            self.stats.postings_scanned += len(window)
-            if vertex.value_constraints:
+                window = [root_pre]
+            else:
+                pres = self._vertex_pres(runtime, view, vertex)
+                # Shrink to the context window with two probes;
+                # everything outside (root_pre, root_end] can never
+                # join.
+                lo = bisect_left(pres, root_pre)
+                hi = bisect_right(pres, root_end)
+                window = pres[lo:hi]
+                self.stats.postings_scanned += len(window)
+            if vertex.value_constraints and vertex_id != pattern.root:
                 window = [p for p in window if runtime.value_ok(vertex, p)]
+            if vertex.residual:
+                # Batch post-filter: the reference evaluator runs once
+                # per surviving candidate, node-locally — identical
+                # semantics to every join strategy's residual check —
+                # and the semi-joins downstream never see rejects.
+                before = len(window)
+                window = [p for p in window
+                          if runtime.residual_ok(vertex, p)]
+                self.stats.note("columnar.residual_checked", before)
+                self.stats.note("columnar.residual_dropped",
+                                before - len(window))
             candidates[vertex_id] = window
             self.stats.intermediate_results += len(window)
             self.stats.note(f"candidates.{vertex.label_text()}",

@@ -1,0 +1,42 @@
+"""The network serving layer — a multi-process XML query server.
+
+The library becomes a database service here (ROADMAP item 1): a
+long-running :class:`~repro.server.frontend.ServerFrontend` accepts
+connections, applies admission control (bounded queue, typed ``BUSY``
+rejections), dispatches each request to the least-loaded worker
+process, enforces per-request wall-clock deadlines (threaded down to
+the executor's cooperative τ-batch checks), and drains gracefully on
+SIGTERM — in-flight queries finish, new ones get a typed ``DRAINING``
+error.
+
+Two transports share one port (the first eight bytes of a connection
+pick the handler):
+
+* a **binary protocol** (:mod:`repro.server.protocol`) — length-prefixed,
+  CRC-checked frames exactly like the WAL format, carrying
+  query/prepare/explain/metrics/admin requests and their responses;
+* **HTTP + JSON** on the same socket for curl-ability, including
+  ``GET /metrics`` serving the Prometheus text exposition.
+
+Worker processes (:mod:`repro.server.worker`) each
+``Database.open(data_dir, read_only=True)`` the shared data directory
+and execute against their pinned snapshot; an admin ``reload`` RPC
+re-opens when a newer checkpoint generation appears, so a writing
+primary can publish data to a running server.
+
+:class:`~repro.server.client.ServerClient` is the blocking client with
+connection pooling, reconnect-and-retry for idempotent reads, and
+typed error mapping (``BUSY``/``DRAINING``/``TIMEOUT``/... back to the
+:mod:`repro.errors` hierarchy).
+"""
+
+from repro.server.client import ServerClient
+from repro.server.frontend import ServerFrontend
+from repro.server.protocol import (
+    MAGIC,
+    read_frame,
+    send_frame,
+)
+
+__all__ = ["ServerFrontend", "ServerClient", "MAGIC",
+           "read_frame", "send_frame"]

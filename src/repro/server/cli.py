@@ -1,0 +1,77 @@
+"""``repro-server`` — the console entry point.
+
+Serve a durable database directory over the network::
+
+    repro-server --data-dir xmark.db --port 8471 --workers 4
+
+The directory must already contain at least one checkpoint generation
+(load documents with :meth:`Database.open` + ``load`` first, or run
+``examples/serve_xmark.py`` which builds one).  Workers open it
+read-only; publish new data by checkpointing from a writer process and
+POSTing an admin ``reload``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve a repro XML database over the network "
+                    "(binary protocol + HTTP/JSON on one port).")
+    parser.add_argument("--data-dir", required=True,
+                        help="durable database directory (opened "
+                             "read-only by every worker)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8471,
+                        help="bind port (default 8471; 0 = pick free)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2; 0 = "
+                             "execute inline on connection threads)")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="open-socket cap (default 64)")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="bounded admission queue; one more "
+                             "request is rejected BUSY (default 16)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="default per-query deadline in seconds "
+                             "(default 30)")
+    parser.add_argument("--inline-concurrency", type=int, default=4,
+                        help="execution slots when --workers 0")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    from repro.server.frontend import ServerFrontend
+
+    args = build_parser().parse_args(argv)
+    frontend = ServerFrontend(
+        host=args.host, port=args.port, data_dir=args.data_dir,
+        workers=args.workers, max_connections=args.max_connections,
+        max_queue=args.max_queue,
+        default_timeout_seconds=args.timeout,
+        inline_concurrency=args.inline_concurrency)
+    frontend.start()
+    host, port = frontend.address
+    print(f"repro-server listening on {host}:{port} "
+          f"({args.workers} worker(s), data dir {args.data_dir!r})",
+          file=sys.stderr)
+    print(f"  curl http://{host}:{port}/metrics", file=sys.stderr)
+    print(f"  curl -X POST http://{host}:{port}/query "
+          f"-d '{{\"text\": \"//site\"}}'", file=sys.stderr)
+    try:
+        frontend.serve_forever()
+    finally:
+        frontend.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""The blocking client: connection pool, retries, typed errors.
+
+:class:`ServerClient` talks the binary protocol
+(:mod:`repro.server.protocol`): it sends the ``MAGIC`` hello once per
+connection, then exchanges one CRC-checked frame per request.
+Connections are pooled LIFO (the hottest socket is reused first) and
+returned after every successful exchange, so a client is safe to share
+across threads — each request checks a socket out for its duration.
+
+Failure handling mirrors what a production driver does:
+
+* **Typed server errors** (``BUSY``, ``DRAINING``, ``TIMEOUT``,
+  ``BAD_REQUEST``, ``QUERY_ERROR``) come back as the matching
+  :mod:`repro.errors` exceptions via
+  :func:`~repro.server.protocol.raise_for_response` — the request
+  *was* delivered and answered; it is never retried here (backoff
+  policy belongs to the caller).
+* **Connection failures** (reset, EOF mid-frame, refused) discard the
+  dead socket and — for idempotent requests only, which every read
+  verb is — transparently retry on a fresh connection up to
+  ``retries`` times.  Non-idempotent requests surface the error.
+
+Usage::
+
+    with ServerClient(host, port) as client:
+        items = client.query("//book/title")["items"]
+        client.ping()
+        print(client.metrics())
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.errors import ProtocolError, ServerError
+from repro.server import protocol
+
+__all__ = ["ServerClient"]
+
+#: Exceptions that mean "the connection died", as opposed to a typed
+#: server answer; these trigger discard + (idempotent) retry.
+_CONNECTION_ERRORS = (ConnectionError, BrokenPipeError, EOFError,
+                      socket.timeout, OSError, ProtocolError)
+
+
+class ServerClient:
+    """A pooled, retrying binary-protocol client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8471,
+                 timeout_seconds: float = 30.0, pool_size: int = 4,
+                 retries: int = 1):
+        self.host = host
+        self.port = port
+        self.timeout_seconds = timeout_seconds
+        self.pool_size = pool_size
+        self.retries = max(0, retries)
+        self._pool: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- pool plumbing -------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_seconds + 15.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(protocol.MAGIC)
+        return sock
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ServerError("client is closed")
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            doomed, self._pool = self._pool, []
+        for sock in doomed:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request core --------------------------------------------------------------
+
+    def request(self, request: dict, idempotent: bool = True) -> dict:
+        """One request/response exchange.
+
+        Typed server errors raise immediately; connection failures
+        retry on a fresh socket when ``idempotent`` (every read verb),
+        up to ``self.retries`` extra attempts.
+        """
+        attempts = 1 + (self.retries if idempotent else 0)
+        last_error: Optional[BaseException] = None
+        for _attempt in range(attempts):
+            try:
+                sock = self._checkout()
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                continue
+            try:
+                protocol.send_frame(sock, request)
+                response = protocol.read_frame(sock)
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            if response is None:
+                # Clean EOF instead of an answer: the server hung up
+                # (drain/stop). Treat like a connection failure.
+                last_error = ProtocolError(
+                    "server closed the connection before answering")
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            self._checkin(sock)
+            return protocol.raise_for_response(response)
+        raise ServerError(
+            f"request failed after {attempts} attempt(s): {last_error}")
+
+    # -- verbs ---------------------------------------------------------------------
+
+    def query(self, text: str, strategy: str = "auto",
+              uri: Optional[str] = None,
+              variables: Optional[dict] = None,
+              timeout_seconds: Optional[float] = None,
+              output: str = "values") -> dict:
+        """Run a query; the response dict carries ``items``,
+        ``strategy``, ``elapsed_seconds``, ``stats``, ``source``."""
+        request = {"verb": "query", "text": text, "strategy": strategy,
+                   "output": output}
+        if uri is not None:
+            request["uri"] = uri
+        if variables is not None:
+            request["variables"] = variables
+        if timeout_seconds is not None:
+            request["timeout_seconds"] = timeout_seconds
+        return self.request(request)
+
+    def query_values(self, text: str, **kwargs) -> list:
+        """Just the result items (string values / atomics)."""
+        return self.query(text, **kwargs)["items"]
+
+    def prepare(self, text: str) -> dict:
+        return self.request({"verb": "prepare", "text": text})
+
+    def explain(self, text: str, strategy: str = "auto",
+                uri: Optional[str] = None) -> str:
+        request = {"verb": "explain", "text": text, "strategy": strategy}
+        if uri is not None:
+            request["uri"] = uri
+        return self.request(request)["explanation"]
+
+    def metrics(self) -> str:
+        """The engine's Prometheus exposition text."""
+        return self.request({"verb": "metrics"})["text"]
+
+    def ping(self) -> dict:
+        return self.request({"verb": "admin", "action": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"verb": "admin", "action": "stats"})
+
+    def generation(self) -> dict:
+        return self.request({"verb": "admin", "action": "generation"})
+
+    def reload(self) -> dict:
+        """Ask every worker to re-open on the newest checkpoint
+        generation (not retried: reload is not idempotent in spirit —
+        the caller should observe each outcome)."""
+        return self.request({"verb": "admin", "action": "reload"},
+                            idempotent=False)

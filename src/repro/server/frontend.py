@@ -1,0 +1,519 @@
+"""The server frontend: accept, admit, dispatch, drain.
+
+One :class:`ServerFrontend` owns the listening socket and the worker
+pool.  Its life cycle::
+
+    frontend = ServerFrontend(data_dir="xmark.db", workers=4, port=8471)
+    frontend.start()          # spawn workers, bind, accept
+    ...
+    frontend.drain()          # stop accepting, finish in-flight
+    frontend.stop()           # stop workers, close everything
+
+Request flow per connection (each connection gets a handler thread;
+the first eight bytes select the transport — the binary ``MAGIC``
+hello or an HTTP request line):
+
+1. **Admission.**  At most ``max_connections`` sockets are open (the
+   acceptor closes excess ones immediately).  Execution slots are a
+   semaphore sized to the worker count (or ``inline_concurrency``
+   when ``workers=0`` runs queries in-process); at most ``max_queue``
+   requests may wait for a slot — one more is rejected with the typed
+   ``BUSY`` error *without blocking*, which keeps overload bounded in
+   both memory and latency.
+2. **Dispatch.**  Admitted requests go to the *least-loaded* live
+   worker (smallest in-flight count).  Query requests without their
+   own ``timeout_seconds`` get the server default, so the engine's
+   cooperative τ-batch deadline checks bound every execution.
+3. **Drain.**  ``drain()`` (wired to SIGTERM in ``serve_forever``)
+   closes the listener, lets every in-flight request finish, and
+   answers anything new with the typed ``DRAINING`` error — zero
+   in-flight queries are lost.
+
+Everything observable exports under the ``repro_server_*`` metric
+namespace on the frontend's own registry; ``GET /metrics`` serves that
+text concatenated with the engine's ``repro_*`` exposition (from the
+inline database, or worker 0).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.errors import (
+    ExecutionError,
+    ProtocolError,
+    ServerBusyError,
+    ServerDrainingError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.server import protocol
+from repro.server.worker import WorkerHandle, spawn_worker
+
+__all__ = ["ServerFrontend"]
+
+
+class ServerFrontend:
+    """Threaded acceptor + admission control + worker dispatch.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see ``address``).
+    data_dir:
+        Durable database directory the workers (or the inline engine)
+        open **read-only**.  Required when ``workers > 0``.
+    database:
+        An already-open :class:`~repro.engine.database.Database` for
+        inline mode (``workers=0``) — what tests and benchmarks use to
+        serve in-memory documents without a data directory.
+    workers:
+        Worker *processes*; ``0`` executes requests on the connection
+        threads against the inline database.
+    max_connections:
+        Open-socket cap; excess connections are closed on accept.
+    max_queue:
+        Requests allowed to wait for an execution slot; one more gets
+        the typed ``BUSY`` rejection immediately.
+    default_timeout_seconds:
+        Deadline given to query requests that do not carry their own.
+    inline_concurrency:
+        Execution slots in inline mode (worker mode uses one slot per
+        worker).
+    db_kwargs:
+        Extra :class:`Database` constructor kwargs for worker opens
+        (e.g. ``{"result_cache_size": 0}`` for benchmark honesty).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 data_dir=None, database=None, workers: int = 0,
+                 max_connections: int = 64, max_queue: int = 16,
+                 default_timeout_seconds: float = 30.0,
+                 inline_concurrency: int = 4,
+                 db_kwargs: Optional[dict] = None):
+        if workers > 0 and data_dir is None:
+            raise ExecutionError(
+                "worker processes need a data_dir to open read-only")
+        if workers == 0 and database is None and data_dir is None:
+            raise ExecutionError(
+                "inline mode needs a database or a data_dir")
+        self.host = host
+        self.port = port
+        self.data_dir = data_dir
+        self.database = database
+        self.workers = workers
+        self.max_connections = max_connections
+        self.max_queue = max_queue
+        self.default_timeout_seconds = default_timeout_seconds
+        self.inline_concurrency = max(1, inline_concurrency)
+        self.db_kwargs = dict(db_kwargs or {})
+        self._owns_database = False
+
+        self._handles: list[WorkerHandle] = []
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._waiting = 0
+        self._running = 0
+        slots = workers if workers > 0 else self.inline_concurrency
+        self._slots = threading.Semaphore(slots)
+        self._slot_count = slots
+        self._draining = False
+        self._stopped = False
+        self._started = False
+        self._stop_event = threading.Event()
+
+        registry = MetricsRegistry()
+        self.registry = registry
+        self.connections_total = registry.counter(
+            "repro_server_connections_total",
+            "Connections accepted, by transport.",
+            labelnames=("transport",))
+        self.requests_total = registry.counter(
+            "repro_server_requests_total",
+            "Requests handled, by verb and outcome (ok or wire error "
+            "code).", labelnames=("verb", "outcome"))
+        self.request_latency = registry.histogram(
+            "repro_server_request_latency_seconds",
+            "Frontend-side request latency (admission wait included), "
+            "by verb.", labelnames=("verb",))
+        self.rejections_total = registry.counter(
+            "repro_server_rejections_total",
+            "Requests/connections rejected, by reason.",
+            labelnames=("reason",))
+        registry.register_pull(
+            "repro_server_queue_depth", "gauge",
+            "Requests waiting for an execution slot.",
+            lambda: self._waiting)
+        registry.register_pull(
+            "repro_server_inflight", "gauge",
+            "Requests currently executing.",
+            lambda: self._running)
+        registry.register_pull(
+            "repro_server_open_connections", "gauge",
+            "Client connections currently open.",
+            lambda: len(self._connections))
+        registry.register_pull(
+            "repro_server_workers", "gauge",
+            "Live worker processes (0 = inline mode).",
+            lambda: sum(1 for h in self._handles if h.alive))
+        registry.register_pull(
+            "repro_server_draining", "gauge",
+            "Whether the server is draining (0/1).",
+            lambda: 1 if self._draining else 0)
+
+    # -- life cycle ----------------------------------------------------------------
+
+    def start(self) -> "ServerFrontend":
+        """Spawn workers (or open the inline database), bind, accept."""
+        if self._started:
+            return self
+        if self.workers > 0:
+            self._handles = [spawn_worker(self.data_dir, index,
+                                          self.db_kwargs)
+                             for index in range(self.workers)]
+        elif self.database is None:
+            from repro.engine.database import Database
+            self.database = Database.open(self.data_dir, read_only=True,
+                                          **self.db_kwargs)
+            self._owns_database = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._acceptor.start()
+        self._started = True
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "ServerFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def drain(self, timeout: float = 30.0) -> dict:
+        """Graceful shutdown phase one: stop accepting, finish
+        in-flight requests (new ones get the typed ``DRAINING``
+        error).  Returns a report with the in-flight count observed at
+        entry and whether everything finished inside ``timeout``."""
+        with self._admission_lock:
+            inflight_at_drain = self._running + self._waiting
+        self._draining = True
+        self._close_listener()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._admission_lock:
+                if self._running == 0 and self._waiting == 0:
+                    break
+            time.sleep(0.005)
+        with self._admission_lock:
+            remaining = self._running + self._waiting
+        return {"drained": remaining == 0,
+                "inflight_at_drain": inflight_at_drain,
+                "inflight_remaining": remaining}
+
+    def stop(self) -> None:
+        """Full shutdown: listener, workers, open connections."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        self._close_listener()
+        for handle in self._handles:
+            handle.stop()
+        self._handles = []
+        with self._conn_lock:
+            doomed = list(self._connections)
+            self._connections.clear()
+        for sock in doomed:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(5.0)
+            self._acceptor = None
+        if self._owns_database and self.database is not None:
+            self.database.close()
+            self.database = None
+        self._stop_event.set()
+
+    def serve_forever(self) -> None:
+        """Block until SIGTERM/SIGINT, then drain and stop."""
+        import signal
+
+        def on_signal(signum, frame):
+            self._stop_event.set()
+
+        try:
+            signal.signal(signal.SIGTERM, on_signal)
+            signal.signal(signal.SIGINT, on_signal)
+        except ValueError:
+            pass  # not the main thread: caller manages signals
+        self.start()
+        self._stop_event.wait()
+        self.drain()
+        self.stop()
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    # -- accepting -----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._draining:
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: drain/stop in progress
+            with self._conn_lock:
+                if len(self._connections) >= self.max_connections:
+                    over = True
+                else:
+                    over = False
+                    self._connections.add(sock)
+            if over:
+                self.rejections_total.inc(1, reason="connection_limit")
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            threading.Thread(target=self._handle_connection,
+                             args=(sock,), daemon=True,
+                             name="repro-server-conn").start()
+
+    def _handle_connection(self, sock: socket.socket) -> None:
+        try:
+            sock.settimeout(300.0)
+            head = protocol.recv_exact(sock, len(protocol.MAGIC))
+            if head is None:
+                return
+            if head == protocol.MAGIC:
+                self.connections_total.inc(1, transport="binary")
+                self._serve_binary(sock)
+            elif head[:4] in protocol.HTTP_METHODS:
+                self.connections_total.inc(1, transport="http")
+                self._serve_http(sock, initial=head)
+            else:
+                self.connections_total.inc(1, transport="unknown")
+        except (ProtocolError, OSError):
+            pass  # connection-level failure: nothing left to say
+        finally:
+            with self._conn_lock:
+                self._connections.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _serve_binary(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                request = protocol.read_frame(sock)
+            except ProtocolError as exc:
+                # Best effort: tell the client why, then hang up (the
+                # stream is unframed garbage from here on).
+                try:
+                    protocol.send_frame(sock, protocol.error_payload(exc))
+                except OSError:
+                    pass
+                return
+            if request is None:
+                return
+            response = self.handle_request(request)
+            protocol.send_frame(sock, response)
+
+    def _serve_http(self, sock: socket.socket, initial: bytes) -> None:
+        parsed = protocol.read_http_request(sock, initial=initial)
+        if parsed is None:
+            return
+        method, path, _headers, body = parsed
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/metrics":
+            sock.sendall(protocol.http_response(
+                200, "OK", self.metrics_text().encode("utf-8"),
+                content_type="text/plain; version=0.0.4"))
+            return
+        try:
+            if method == "GET" and path == "/ping":
+                request = {"verb": "admin", "action": "ping"}
+            elif method == "GET" and path == "/stats":
+                request = {"verb": "admin", "action": "stats"}
+            elif method == "POST" and path in ("/query", "/prepare",
+                                               "/explain"):
+                request = protocol.parse_json_body(body)
+                request["verb"] = path[1:]
+            else:
+                sock.sendall(protocol.http_response(
+                    404, "Not Found",
+                    b'{"ok": false, "error": "no such endpoint"}\n'))
+                return
+        except ExecutionError as exc:
+            sock.sendall(protocol.http_json_response(
+                protocol.error_payload(exc)))
+            return
+        response = self.handle_request(request)
+        sock.sendall(protocol.http_json_response(response))
+
+    # -- admission + dispatch ------------------------------------------------------
+
+    def handle_request(self, request: dict) -> dict:
+        """Admit, dispatch, and account one request; always returns a
+        response dict (errors as typed payloads, never raises)."""
+        verb = str(request.get("verb") or "?")
+        started = time.perf_counter()
+        response = self._admit_and_dispatch(request)
+        outcome = ("ok" if response.get("ok")
+                   else response.get("code", "INTERNAL"))
+        self.requests_total.inc(1, verb=verb, outcome=outcome)
+        self.request_latency.observe(time.perf_counter() - started,
+                                     verb=verb)
+        return response
+
+    def _admit_and_dispatch(self, request: dict) -> dict:
+        if self._draining:
+            self.rejections_total.inc(1, reason="draining")
+            return protocol.error_payload(ServerDrainingError(
+                "server is draining; retry against another replica"))
+        with self._admission_lock:
+            if self._waiting >= self.max_queue:
+                over = True
+            else:
+                over = False
+                self._waiting += 1
+        if over:
+            self.rejections_total.inc(1, reason="queue_full")
+            return protocol.error_payload(ServerBusyError(
+                f"admission queue full ({self.max_queue} waiting); "
+                f"retry after backoff"))
+        acquired = False
+        try:
+            self._slots.acquire()
+            acquired = True
+        finally:
+            with self._admission_lock:
+                self._waiting -= 1
+                if acquired:
+                    self._running += 1
+        try:
+            if self._draining:
+                self.rejections_total.inc(1, reason="draining")
+                return protocol.error_payload(ServerDrainingError(
+                    "server began draining while this request was "
+                    "queued"))
+            return self._dispatch(request)
+        finally:
+            with self._admission_lock:
+                self._running -= 1
+            self._slots.release()
+
+    def _dispatch(self, request: dict) -> dict:
+        request = dict(request)
+        if (request.get("verb") == "query"
+                and request.get("timeout_seconds") is None
+                and self.default_timeout_seconds):
+            request["timeout_seconds"] = self.default_timeout_seconds
+        wait = (request.get("timeout_seconds")
+                or self.default_timeout_seconds or 30.0)
+        if self._handles:
+            if (request.get("verb") == "admin"
+                    and request.get("action") == "reload"):
+                return self._reload_workers(wait)
+            handle = self._least_loaded()
+            if handle is None:
+                return protocol.error_payload(
+                    RuntimeError("no live worker processes"))
+            return handle.call(request, timeout=wait)
+        try:
+            return self.database.execute_request(request)
+        except Exception as exc:
+            return protocol.error_payload(exc)
+
+    def _least_loaded(self) -> Optional[WorkerHandle]:
+        live = [h for h in self._handles if h.alive]
+        if not live:
+            return None
+        return min(live, key=lambda h: (h.inflight, h.index))
+
+    def _reload_workers(self, wait: float) -> dict:
+        """Broadcast the reload RPC; aggregate per-worker outcomes."""
+        results = []
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            results.append(handle.call(
+                {"verb": "admin", "action": "reload"}, timeout=wait))
+        reloaded = [bool(r.get("reloaded")) for r in results
+                    if r.get("ok")]
+        generations = [r.get("generation") for r in results
+                       if r.get("ok")]
+        return {"ok": all(r.get("ok") for r in results) if results
+                else False,
+                "verb": "admin", "action": "reload",
+                "workers": len(results),
+                "reloaded": reloaded, "generations": generations}
+
+    # -- observability -------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The ``repro_server_*`` exposition plus the engine's own
+        ``repro_*`` families (inline database, or worker 0)."""
+        parts = [self.registry.render_prometheus()]
+        try:
+            if self._handles:
+                handle = self._least_loaded()
+                if handle is not None:
+                    response = handle.call({"verb": "metrics"},
+                                           timeout=10.0)
+                    if response.get("ok"):
+                        parts.append(response["text"])
+            elif self.database is not None:
+                parts.append(self.database.metrics_text())
+        except Exception:
+            pass  # engine exposition is best-effort during shutdown
+        return "\n".join(part.rstrip("\n") for part in parts if part) \
+            + "\n"
+
+    def report(self) -> dict:
+        """Live serving state for tests/benchmarks and ``/stats``."""
+        with self._admission_lock:
+            waiting, running = self._waiting, self._running
+        return {
+            "address": list(self.address),
+            "workers": self.workers,
+            "workers_alive": sum(1 for h in self._handles if h.alive),
+            "slots": self._slot_count,
+            "max_queue": self.max_queue,
+            "waiting": waiting,
+            "running": running,
+            "draining": self._draining,
+            "open_connections": len(self._connections),
+            "requests_served": [h.requests_served
+                                for h in self._handles],
+        }

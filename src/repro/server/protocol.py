@@ -1,0 +1,299 @@
+"""Wire protocol: CRC-checked binary frames plus an HTTP+JSON front.
+
+Binary framing (mirrors the WAL format, :mod:`repro.durability.wal`)::
+
+    connection  = MAGIC frame*              (client sends MAGIC once)
+    frame       = u32 payload_length        (big-endian)
+                  u32 crc32(payload)
+                  payload                   (pack_obj-encoded dict)
+
+Every frame carries one request or one response dictionary encoded
+with the durability layer's :func:`~repro.durability.format.pack_obj`
+codec — no JSON/pickle on the hot path, and the CRC catches torn or
+corrupted frames the same way WAL recovery does.  A frame whose length
+prefix exceeds ``MAX_FRAME_BYTES`` (or whose CRC mismatches) raises
+:class:`~repro.errors.ProtocolError`; the connection is then
+unrecoverable and must be closed.
+
+Responses are either ``{"ok": True, ...}`` verb results (see
+:meth:`Database.execute_request`) or typed errors::
+
+    {"ok": False, "code": "BUSY" | "DRAINING" | "TIMEOUT" |
+                          "BAD_REQUEST" | "QUERY_ERROR" | "INTERNAL",
+     "error": "<message>", "error_type": "<exception class>"}
+
+:func:`error_payload` maps engine exceptions onto those codes and
+:func:`raise_for_response` maps them back to the
+:mod:`repro.errors` hierarchy on the client side — a query that times
+out server-side raises :class:`~repro.errors.QueryTimeoutError` at the
+caller, exactly as if it had run in-process.
+
+The HTTP helpers implement just enough of HTTP/1.1 (request line,
+headers, ``Content-Length`` bodies, ``Connection: close`` responses)
+for curl and simple JSON clients; both transports share one listening
+port — the first eight bytes of a connection are either ``MAGIC`` or
+the start of an HTTP request line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import (
+    ExecutionError,
+    ProtocolError,
+    QuerySyntaxError,
+    QueryTimeoutError,
+    QueryTypeError,
+    RemoteQueryError,
+    ReproError,
+    ServerBusyError,
+    ServerDrainingError,
+    ServerError,
+    TranslationError,
+    XMLSyntaxError,
+)
+from repro.durability.format import crc32, pack_obj, unpack_obj
+
+__all__ = ["MAGIC", "MAX_FRAME_BYTES", "FRAME_HEADER",
+           "pack_frame", "send_frame", "read_frame", "recv_exact",
+           "error_payload", "error_code", "raise_for_response",
+           "HTTP_METHODS", "http_status_for", "read_http_request",
+           "http_response"]
+
+#: The binary client hello: sent once right after connect; also how the
+#: acceptor distinguishes binary clients from HTTP ones (eight bytes,
+#: like the WAL/snapshot magics, versioned for forward compatibility).
+MAGIC = b"RXSRV001"
+
+#: payload length + crc32 of payload — the WAL's frame header shape.
+FRAME_HEADER = struct.Struct(">II")
+
+#: Upper bound on a single frame's payload; a length prefix beyond it
+#: is treated as corruption, not an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Four-byte request-line prefixes that mark a connection as HTTP.
+HTTP_METHODS = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI",
+                b"PATC")
+
+
+# -- binary framing ---------------------------------------------------------------
+
+
+def pack_frame(payload_obj: dict) -> bytes:
+    """One wire frame for ``payload_obj`` (header + packed payload)."""
+    payload = pack_obj(payload_obj)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return FRAME_HEADER.pack(len(payload), crc32(payload)) + payload
+
+
+def send_frame(sock: socket.socket, payload_obj: dict) -> int:
+    """Send one frame; returns the bytes written."""
+    data = pack_frame(payload_obj)
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_exact(sock: socket.socket, count: int,
+               initial: bytes = b"") -> Optional[bytes]:
+    """Exactly ``count`` bytes from ``sock`` (prefixed by ``initial``).
+
+    Returns ``None`` on a clean EOF *before any byte* arrives — the
+    peer closed between frames, which is a normal end of conversation.
+    An EOF mid-read is a truncated frame and raises
+    :class:`~repro.errors.ProtocolError`.
+    """
+    chunks = [initial] if initial else []
+    received = len(initial)
+    while received < count:
+        chunk = sock.recv(min(65536, count - received))
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({received} of {count} "
+                f"bytes received)")
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[dict]:
+    """The next frame's payload dict, or ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ProtocolError` on a truncated header
+    or payload, an oversized length prefix, a CRC mismatch, or a
+    payload that is not a dictionary.
+    """
+    header = recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    length, expected_crc = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt stream?)")
+    payload = recv_exact(sock, length)
+    if payload is None or len(payload) < length:
+        raise ProtocolError("connection closed mid-frame payload")
+    if crc32(payload) != expected_crc:
+        raise ProtocolError("frame CRC mismatch (corrupt stream)")
+    try:
+        obj = unpack_obj(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a dictionary, got "
+            f"{type(obj).__name__}")
+    return obj
+
+
+# -- error mapping ----------------------------------------------------------------
+
+
+def error_code(exception: BaseException) -> str:
+    """The wire error code for an exception (server side)."""
+    if isinstance(exception, ServerError):
+        return exception.code
+    if isinstance(exception, QueryTimeoutError):
+        return "TIMEOUT"
+    if isinstance(exception, (QuerySyntaxError, QueryTypeError,
+                              TranslationError, XMLSyntaxError)):
+        return "BAD_REQUEST"
+    if isinstance(exception, ReproError):
+        return "QUERY_ERROR"
+    return "INTERNAL"
+
+
+def error_payload(exception: BaseException) -> dict:
+    """The typed error response dict for an exception."""
+    return {
+        "ok": False,
+        "code": error_code(exception),
+        "error": str(exception) or type(exception).__name__,
+        "error_type": type(exception).__name__,
+    }
+
+
+def raise_for_response(response: dict) -> dict:
+    """Return ``response`` if it is a success, else raise the typed
+    client-side exception its error code maps to."""
+    if not isinstance(response, dict):
+        raise ProtocolError(
+            f"response must be a dictionary, got "
+            f"{type(response).__name__}")
+    if response.get("ok"):
+        return response
+    code = response.get("code", "INTERNAL")
+    message = response.get("error", "server error")
+    remote_type = response.get("error_type")
+    if code == "BUSY":
+        raise ServerBusyError(message)
+    if code == "DRAINING":
+        raise ServerDrainingError(message)
+    if code == "TIMEOUT":
+        raise QueryTimeoutError(message)
+    if code in ("BAD_REQUEST", "QUERY_ERROR"):
+        raise RemoteQueryError(message, remote_type=remote_type)
+    raise ServerError(message)
+
+
+#: HTTP status per wire error code (success is 200).
+_HTTP_STATUS = {
+    "BUSY": (503, "Service Unavailable"),
+    "DRAINING": (503, "Service Unavailable"),
+    "TIMEOUT": (504, "Gateway Timeout"),
+    "BAD_REQUEST": (400, "Bad Request"),
+    "QUERY_ERROR": (422, "Unprocessable Entity"),
+    "INTERNAL": (500, "Internal Server Error"),
+}
+
+
+def http_status_for(response: dict) -> tuple[int, str]:
+    """The (status code, reason) an engine response maps to."""
+    if response.get("ok"):
+        return 200, "OK"
+    return _HTTP_STATUS.get(response.get("code", "INTERNAL"),
+                            (500, "Internal Server Error"))
+
+
+# -- minimal HTTP/1.1 -------------------------------------------------------------
+
+
+def read_http_request(sock: socket.socket, initial: bytes = b"",
+                      max_bytes: int = MAX_FRAME_BYTES
+                      ) -> Optional[tuple[str, str, dict, bytes]]:
+    """Parse one HTTP request: ``(method, path, headers, body)``.
+
+    ``initial`` carries bytes the transport sniffer already consumed.
+    Returns ``None`` on clean EOF before any byte.  Headers come back
+    lower-cased; the body is read to ``Content-Length`` (chunked
+    encoding is not supported — curl and the stdlib client both send
+    sized bodies).
+    """
+    buffer = initial
+    while b"\r\n\r\n" not in buffer:
+        if len(buffer) > max_bytes:
+            raise ProtocolError("HTTP header section too large")
+        chunk = sock.recv(65536)
+        if not chunk:
+            if not buffer:
+                return None
+            raise ProtocolError("connection closed mid-HTTP-headers")
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, path, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ProtocolError(f"malformed HTTP request line: {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_bytes:
+        raise ProtocolError("HTTP body too large")
+    body = recv_exact(sock, length, initial=rest) if length else rest
+    if body is None:
+        raise ProtocolError("connection closed mid-HTTP-body")
+    return method.upper(), path, headers, body[:length]
+
+
+def http_response(status: int, reason: str, body: bytes,
+                  content_type: str = "application/json") -> bytes:
+    """One complete ``Connection: close`` HTTP/1.1 response."""
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def http_json_response(response: dict) -> bytes:
+    """An engine response dict rendered as an HTTP JSON response."""
+    status, reason = http_status_for(response)
+    body = json.dumps(response, indent=2,
+                      default=str).encode("utf-8") + b"\n"
+    return http_response(status, reason, body)
+
+
+def parse_json_body(body: bytes) -> dict:
+    """A JSON request body as a dict (typed errors on garbage)."""
+    if not body:
+        return {}
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ExecutionError(f"request body is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ExecutionError("request body must be a JSON object")
+    return obj

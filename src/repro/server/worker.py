@@ -1,0 +1,215 @@
+"""Worker processes: read-only engines behind a request pipe.
+
+Each worker is a forked child running :func:`worker_main`: it
+``Database.open(data_dir, read_only=True)``s the shared data directory
+(recovery restores the newest checkpoint generation without mutating
+the directory — see the read-only branch in
+:mod:`repro.durability.recovery`) and then serves requests off a
+:class:`multiprocessing.Connection` pipe, one at a time, routing every
+verb through :meth:`Database.execute_request`.
+
+Pipe messages are ``pack_obj``-encoded dicts::
+
+    request  = {"wid": int, "request": {<execute_request shape>}}
+    response = {"wid": int, "response": {<response / error payload>}}
+
+``wid`` is a per-worker monotonically increasing id the parent uses to
+match responses — after a frontend-side timeout abandons a request,
+its late response is recognised as stale by its ``wid`` and dropped
+instead of being delivered to the wrong caller.
+
+Two verbs are intercepted before the engine:
+
+* ``{"verb": "__stop__"}`` — exit the loop (graceful worker stop);
+* ``{"verb": "admin", "action": "reload"}`` — compare the data
+  directory's newest snapshot generation against the one this worker
+  recovered from and re-open the database when it is newer, so a
+  writing primary's checkpoints become visible without restarting the
+  server.
+
+:class:`WorkerHandle` is the parent-side proxy: it serializes calls on
+an internal lock (one in-flight request per worker — the frontend's
+least-loaded dispatch provides cross-worker parallelism), tracks the
+in-flight count that dispatch reads, and converts pipe breakage into
+typed ``INTERNAL`` error payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.durability.format import pack_obj, unpack_obj
+from repro.server.protocol import error_payload
+
+__all__ = ["worker_main", "WorkerHandle", "spawn_worker"]
+
+#: Extra seconds the parent waits past a request's own deadline before
+#: abandoning the worker's response: the engine aborts cooperatively
+#: *at* the deadline, so the reply normally lands well inside this.
+RESPONSE_GRACE_SECONDS = 10.0
+
+
+def _generation_on_disk(data_dir) -> Optional[int]:
+    """The newest snapshot generation currently in ``data_dir``."""
+    from pathlib import Path
+
+    from repro.durability.checkpoint import list_generations
+
+    snapshots = list_generations(Path(data_dir))["snapshots"]
+    return snapshots[-1] if snapshots else None
+
+
+def worker_main(conn, data_dir: str, db_kwargs: Optional[dict] = None
+                ) -> None:
+    """The child process body: open read-only, serve the pipe."""
+    from repro.engine.database import Database
+
+    db_kwargs = dict(db_kwargs or {})
+    database = Database.open(data_dir, read_only=True, **db_kwargs)
+
+    def current_generation() -> Optional[int]:
+        recovery = (database.durability.last_recovery or {})
+        return recovery.get("snapshot_generation")
+
+    while True:
+        try:
+            message = unpack_obj(conn.recv_bytes())
+        except (EOFError, OSError):
+            break  # parent died or closed the pipe: exit quietly
+        wid = message.get("wid", -1)
+        request = message.get("request") or {}
+        verb = request.get("verb")
+        if verb == "__stop__":
+            break
+        try:
+            if (verb == "admin"
+                    and request.get("action") == "reload"):
+                on_disk = _generation_on_disk(data_dir)
+                mine = current_generation()
+                reloaded = False
+                if on_disk is not None and on_disk != mine:
+                    database.close()
+                    database = Database.open(data_dir, read_only=True,
+                                             **db_kwargs)
+                    reloaded = True
+                response = {"ok": True, "verb": "admin",
+                            "action": "reload", "reloaded": reloaded,
+                            "generation": current_generation(),
+                            "pid": os.getpid()}
+            else:
+                response = database.execute_request(request)
+        except Exception as exc:
+            response = error_payload(exc)
+        try:
+            conn.send_bytes(pack_obj({"wid": wid,
+                                      "response": response}))
+        except (BrokenPipeError, OSError):
+            break
+    database.close()
+    conn.close()
+
+
+class WorkerHandle:
+    """Parent-side proxy for one worker process."""
+
+    def __init__(self, process, conn, index: int):
+        self.process = process
+        self.conn = conn
+        self.index = index
+        self.lock = threading.Lock()
+        self.inflight = 0       # read lock-free by least-loaded dispatch
+        self.requests_served = 0
+        self._wid = 0
+        self._stale: set[int] = set()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def call(self, request: dict,
+             timeout: Optional[float] = None) -> dict:
+        """Ship ``request`` to the worker and wait for its response.
+
+        ``timeout`` bounds the wait (the worker enforces the query's
+        own deadline cooperatively; this adds
+        ``RESPONSE_GRACE_SECONDS`` on top as a hang backstop).  An
+        abandoned request's ``wid`` is remembered so its late response
+        is drained, not misdelivered.
+        """
+        self.inflight += 1
+        try:
+            with self.lock:
+                self._wid += 1
+                wid = self._wid
+                deadline = (None if timeout is None else
+                            time.monotonic() + timeout
+                            + RESPONSE_GRACE_SECONDS)
+                try:
+                    self.conn.send_bytes(pack_obj(
+                        {"wid": wid, "request": request}))
+                except (BrokenPipeError, OSError) as exc:
+                    return error_payload(
+                        RuntimeError(f"worker {self.index} pipe "
+                                     f"broken: {exc}"))
+                while True:
+                    remaining = (None if deadline is None else
+                                 deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        self._stale.add(wid)
+                        return error_payload(RuntimeError(
+                            f"worker {self.index} did not respond "
+                            f"within the deadline"))
+                    try:
+                        if not self.conn.poll(remaining):
+                            continue
+                        message = unpack_obj(self.conn.recv_bytes())
+                    except (EOFError, OSError) as exc:
+                        return error_payload(
+                            RuntimeError(f"worker {self.index} died: "
+                                         f"{exc}"))
+                    got = message.get("wid")
+                    if got == wid:
+                        self.requests_served += 1
+                        return message.get("response") or error_payload(
+                            RuntimeError("empty worker response"))
+                    if got in self._stale:
+                        self._stale.discard(got)
+                        continue  # late reply to an abandoned request
+                    # A wid we never issued: drop it (corrupt pipe
+                    # state would have failed unpack already).
+        finally:
+            self.inflight -= 1
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Graceful stop: ask the loop to exit, then escalate."""
+        try:
+            with self.lock:
+                self.conn.send_bytes(pack_obj(
+                    {"wid": -1, "request": {"verb": "__stop__"}}))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(join_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(join_timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def spawn_worker(data_dir: str, index: int,
+                 db_kwargs: Optional[dict] = None) -> WorkerHandle:
+    """Fork one worker process serving ``data_dir`` read-only."""
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=worker_main, args=(child_conn, str(data_dir), db_kwargs),
+        name=f"repro-worker-{index}", daemon=True)
+    process.start()
+    child_conn.close()  # the child holds its own copy
+    return WorkerHandle(process, parent_conn, index)

@@ -1,0 +1,199 @@
+"""Wire-protocol unit tests: framing, corruption, error mapping."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    ProtocolError,
+    QuerySyntaxError,
+    QueryTimeoutError,
+    RemoteQueryError,
+    ServerBusyError,
+    ServerDrainingError,
+    ServerError,
+)
+from repro.server import protocol
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = {"verb": "query", "text": "//item/name",
+                   "variables": {"x": 1, "y": [1.5, None, True]},
+                   "blob": b"\x00\xff", "nested": {"a": ("t", "u")}}
+        protocol.send_frame(left, payload)
+        received = protocol.read_frame(right)
+        # pack_obj round-trips tuples as lists; everything else exact.
+        assert received["verb"] == "query"
+        assert received["text"] == "//item/name"
+        assert received["variables"] == {"x": 1, "y": [1.5, None, True]}
+        assert received["blob"] == b"\x00\xff"
+
+    def test_many_frames_one_connection(self, pair):
+        left, right = pair
+        for index in range(20):
+            protocol.send_frame(left, {"seq": index})
+        for index in range(20):
+            assert protocol.read_frame(right) == {"seq": index}
+
+    def test_clean_eof_is_none(self, pair):
+        left, right = pair
+        left.close()
+        assert protocol.read_frame(right) is None
+
+    def test_truncated_header(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00\x00")  # 3 of the 8 header bytes
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(right)
+
+    def test_truncated_payload(self, pair):
+        left, right = pair
+        frame = protocol.pack_frame({"verb": "query", "text": "//a"})
+        left.sendall(frame[:-4])  # drop the payload tail
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(right)
+
+    def test_crc_mismatch(self, pair):
+        left, right = pair
+        frame = bytearray(protocol.pack_frame({"verb": "metrics"}))
+        frame[-1] ^= 0xFF  # flip one payload byte; header CRC is stale
+        left.sendall(bytes(frame))
+        with pytest.raises(ProtocolError, match="CRC"):
+            protocol.read_frame(right)
+
+    def test_oversized_length_prefix(self, pair):
+        left, right = pair
+        header = protocol.FRAME_HEADER.pack(
+            protocol.MAX_FRAME_BYTES + 1, 0)
+        left.sendall(header)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.read_frame(right)
+
+    def test_non_dict_payload(self, pair):
+        from repro.durability.format import crc32, pack_obj
+
+        left, right = pair
+        payload = pack_obj([1, 2, 3])
+        left.sendall(protocol.FRAME_HEADER.pack(
+            len(payload), crc32(payload)) + payload)
+        with pytest.raises(ProtocolError, match="dictionary"):
+            protocol.read_frame(right)
+
+    def test_recv_exact_reassembles_fragments(self, pair):
+        left, right = pair
+        data = bytes(range(256)) * 64
+
+        def dribble():
+            for offset in range(0, len(data), 1000):
+                left.sendall(data[offset:offset + 1000])
+
+        thread = threading.Thread(target=dribble)
+        thread.start()
+        received = protocol.recv_exact(right, len(data))
+        thread.join()
+        assert received == data
+
+
+class TestErrorMapping:
+    def test_error_codes(self):
+        assert protocol.error_code(ServerBusyError("q full")) == "BUSY"
+        assert protocol.error_code(
+            ServerDrainingError("bye")) == "DRAINING"
+        assert protocol.error_code(
+            QueryTimeoutError("deadline")) == "TIMEOUT"
+        assert protocol.error_code(
+            QuerySyntaxError("parse")) == "BAD_REQUEST"
+        assert protocol.error_code(
+            ExecutionError("boom")) == "QUERY_ERROR"
+        assert protocol.error_code(ValueError("?")) == "INTERNAL"
+
+    def test_payload_shape(self):
+        payload = protocol.error_payload(QuerySyntaxError("bad token"))
+        assert payload == {"ok": False, "code": "BAD_REQUEST",
+                           "error": "bad token",
+                           "error_type": "QuerySyntaxError"}
+
+    def test_raise_for_response_success_passthrough(self):
+        response = {"ok": True, "items": [1]}
+        assert protocol.raise_for_response(response) is response
+
+    @pytest.mark.parametrize("code,expected", [
+        ("BUSY", ServerBusyError),
+        ("DRAINING", ServerDrainingError),
+        ("TIMEOUT", QueryTimeoutError),
+        ("BAD_REQUEST", RemoteQueryError),
+        ("QUERY_ERROR", RemoteQueryError),
+        ("INTERNAL", ServerError),
+    ])
+    def test_raise_for_response_errors(self, code, expected):
+        with pytest.raises(expected):
+            protocol.raise_for_response(
+                {"ok": False, "code": code, "error": "x",
+                 "error_type": "ExecutionError"})
+
+    def test_remote_type_is_preserved(self):
+        with pytest.raises(RemoteQueryError) as info:
+            protocol.raise_for_response(
+                {"ok": False, "code": "BAD_REQUEST",
+                 "error": "unexpected token",
+                 "error_type": "QuerySyntaxError"})
+        assert info.value.remote_type == "QuerySyntaxError"
+
+    def test_http_status_mapping(self):
+        assert protocol.http_status_for({"ok": True})[0] == 200
+        assert protocol.http_status_for(
+            {"ok": False, "code": "BUSY"})[0] == 503
+        assert protocol.http_status_for(
+            {"ok": False, "code": "TIMEOUT"})[0] == 504
+        assert protocol.http_status_for(
+            {"ok": False, "code": "BAD_REQUEST"})[0] == 400
+        assert protocol.http_status_for(
+            {"ok": False, "code": "QUERY_ERROR"})[0] == 422
+        assert protocol.http_status_for(
+            {"ok": False, "code": "INTERNAL"})[0] == 500
+
+
+class TestHTTP:
+    def test_read_http_request(self, pair):
+        left, right = pair
+        body = b'{"text": "//item"}'
+        raw = (b"POST /query HTTP/1.1\r\n"
+               b"Host: x\r\nContent-Type: application/json\r\n"
+               b"Content-Length: " + str(len(body)).encode() +
+               b"\r\n\r\n" + body)
+        # The transport sniffer consumes eight bytes first.
+        left.sendall(raw)
+        initial = protocol.recv_exact(right, 8)
+        method, path, headers, got = protocol.read_http_request(
+            right, initial=initial)
+        assert (method, path) == ("POST", "/query")
+        assert headers["content-type"] == "application/json"
+        assert got == body
+
+    def test_parse_json_body_rejects_garbage(self):
+        with pytest.raises(ExecutionError, match="not valid JSON"):
+            protocol.parse_json_body(b"{nope")
+        with pytest.raises(ExecutionError, match="JSON object"):
+            protocol.parse_json_body(b"[1, 2]")
+        assert protocol.parse_json_body(b"") == {}
+
+    def test_http_response_shape(self):
+        raw = protocol.http_json_response({"ok": True, "pong": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        assert b'"pong": true' in body
