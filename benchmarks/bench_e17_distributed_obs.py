@@ -1,0 +1,279 @@
+"""E17 — distributed observability: tracing overhead at the wire.
+
+PR 9 wired end-to-end traces through the serving stack: clients mint a
+``trace_id``, the frontend opens ``server.request``/``server.admit``/
+``server.dispatch`` spans, workers adopt the propagated context inside
+``Database.execute_request`` and piggyback their finished span
+fragments on the response, and the frontend stitches the fragments
+into one cross-process trace.  Observability must not cost the
+workload it observes, so this experiment measures the end-to-end
+throughput of the same 2-worker server under three sampling regimes:
+
+* ``off``     — ``trace_sample=0.0``: the zero-overhead baseline
+  (requests still mint ids; no span is ever recorded anywhere);
+* ``default`` — ``trace_sample=0.01``: the production default, whose
+  median overhead vs ``off`` must stay **≤ 3%**;
+* ``full``    — ``trace_sample=1.0``: every request traced and
+  stitched, recorded honestly as the worst case (no bar).
+
+The three regimes run in *interleaved rounds* (off/default/full,
+repeated) and the reported overhead is the ratio of **pooled
+per-request median latencies** (every request across every round of a
+regime contributes one sample) — the median of hundreds of individual
+request latencies is far more robust to CPU-steal bursts on a shared
+host than the wall-clock of a short burst, and interleaving keeps any
+drift from biasing one regime.  Wall-clock qps per round is recorded
+alongside, informationally.  The full regime also asserts the
+plumbing end-to-end: every sampled response's ``trace_id`` resolves
+to a stitched trace in the frontend ring buffer.
+
+Artifacts: ``benchmarks/results/e17_distributed_obs.txt`` plus
+machine-readable numbers in
+``benchmarks/results/BENCH_e17_distributed_obs.json``.
+
+Run directly (``python benchmarks/bench_e17_distributed_obs.py
+[--quick]``) or through pytest like the other experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_...py` run
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import RESULTS_DIR, format_table, publish
+from repro.engine.database import Database
+from repro.server import ServerClient, ServerFrontend
+from repro.workload import generate_xmark
+from repro.xml.serializer import serialize
+
+QUERIES = [
+    "//item/name",
+    "//item[payment = 'Creditcard']",
+    "count(//item)",
+    "//person/name",
+]
+
+CLIENTS = 4
+
+#: The acceptance bar: median overhead of default sampling vs off.
+DEFAULT_OVERHEAD_BAR_PERCENT = 3.0
+
+REGIMES = (("off", 0.0), ("default", 0.01), ("full", 1.0))
+
+
+def _build_data_dir(directory: str, scale: int) -> None:
+    database = Database.open(directory)
+    database.load(serialize(generate_xmark(scale=scale, seed=42)),
+                  uri="xmark.xml")
+    database.checkpoint()
+    database.close()
+
+
+def _measure_round(frontend: ServerFrontend, trace_sample: float,
+                   requests_per_client: int) -> dict:
+    """One round of ``CLIENTS`` concurrent clients against an already
+    warm server (result caches off, so every request executes its
+    plan)."""
+    errors: list[str] = []
+    trace_ids: list[str] = []
+    latencies: list[float] = []
+    lock = threading.Lock()
+    host, port = frontend.address
+
+    def client_loop(offset: int) -> None:
+        local_ids: list[str] = []
+        local_latencies: list[float] = []
+        with ServerClient(host, port) as client:
+            for index in range(requests_per_client):
+                query = QUERIES[(offset + index) % len(QUERIES)]
+                request_started = time.perf_counter()
+                try:
+                    response = client.query(query)
+                    local_latencies.append(
+                        time.perf_counter() - request_started)
+                    local_ids.append(response["trace_id"])
+                except Exception as exc:  # noqa: BLE001
+                    with lock:
+                        errors.append(repr(exc))
+        with lock:
+            trace_ids.extend(local_ids)
+            latencies.extend(local_latencies)
+
+    threads = [threading.Thread(target=client_loop, args=(i,))
+               for i in range(CLIENTS)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+
+    if trace_sample >= 1.0:
+        # Full tracing also proves the plumbing: every response's id
+        # must resolve to a stitched cross-process trace.
+        missing = [trace_id for trace_id in trace_ids
+                   if frontend.tracer.find_trace(trace_id) is None]
+    else:
+        missing = []
+
+    total = CLIENTS * requests_per_client
+    assert not errors, errors[:3]
+    assert not missing, f"{len(missing)} unstitched traces"
+    return {
+        "requests": total,
+        "wall_seconds": wall,
+        "qps": total / max(wall, 1e-9),
+        "latencies": latencies,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    scale = 20 if quick else 50
+    requests_per_client = 40 if quick else 150
+    rounds = 5
+    total_per_regime = CLIENTS * requests_per_client * rounds
+
+    with tempfile.TemporaryDirectory() as scratch:
+        data_dir = str(Path(scratch) / "xmark.db")
+        _build_data_dir(data_dir, scale)
+        # One long-lived server per regime (ring capacity covers every
+        # traced request, so full-regime stitching stays checkable);
+        # an untimed warm-up round absorbs worker cold start, then the
+        # measured rounds interleave so every regime sees every phase
+        # of host drift.
+        frontends = {
+            name: ServerFrontend(
+                data_dir=data_dir, workers=2, max_queue=64,
+                trace_sample=trace_sample,
+                trace_capacity=total_per_regime + CLIENTS,
+                db_kwargs={"result_cache_size": 0}).start()
+            for name, trace_sample in REGIMES}
+        try:
+            samples: dict[str, list[dict]] = {name: []
+                                              for name, _ in REGIMES}
+            for name, trace_sample in REGIMES:
+                _measure_round(frontends[name], trace_sample,
+                               max(4, requests_per_client // 4))
+            for _round in range(rounds):
+                for name, trace_sample in REGIMES:
+                    samples[name].append(_measure_round(
+                        frontends[name], trace_sample,
+                        requests_per_client))
+            stitched = {name: frontends[name].tracer.traces_finished
+                        for name, _ in REGIMES}
+        finally:
+            for frontend in frontends.values():
+                frontend.stop()
+
+    regimes = {}
+    for name, trace_sample in REGIMES:
+        pooled = [latency for entry in samples[name]
+                  for latency in entry["latencies"]]
+        rounds_out = [{key: value for key, value in entry.items()
+                       if key != "latencies"}
+                      for entry in samples[name]]
+        regimes[name] = {
+            "trace_sample": trace_sample,
+            "rounds": rounds_out,
+            "median_qps": statistics.median(
+                entry["qps"] for entry in samples[name]),
+            "median_latency_ms":
+                statistics.median(pooled) * 1e3,
+            "latency_samples": len(pooled),
+            "traces_stitched_total": stitched[name],
+        }
+
+    baseline_latency = regimes["off"]["median_latency_ms"]
+    for name in regimes:
+        regimes[name]["overhead_percent"] = (
+            (regimes[name]["median_latency_ms"]
+             / max(baseline_latency, 1e-9) - 1.0) * 100.0)
+
+    report = {
+        "experiment": "e17_distributed_obs",
+        "quick": quick,
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "clients": CLIENTS,
+        "rounds": rounds,
+        "requests_per_round": CLIENTS * requests_per_client,
+        "regimes": regimes,
+        "default_overhead_percent":
+            regimes["default"]["overhead_percent"],
+        "default_overhead_bar_percent": DEFAULT_OVERHEAD_BAR_PERCENT,
+    }
+
+    table = format_table(
+        f"E17 — distributed observability overhead (xmark-{scale}, "
+        f"{CLIENTS} clients, {rounds} interleaved rounds)",
+        ["regime", "sample", "median qps", "p50 ms", "overhead %",
+         "stitched"],
+        [[name, regimes[name]["trace_sample"],
+          regimes[name]["median_qps"],
+          regimes[name]["median_latency_ms"],
+          regimes[name]["overhead_percent"],
+          regimes[name]["traces_stitched_total"]]
+         for name, _ in REGIMES],
+        note=(f"default sampling (0.01) median-latency overhead "
+              f"{report['default_overhead_percent']:.2f}% vs untraced "
+              f"— bar ≤ {DEFAULT_OVERHEAD_BAR_PERCENT:.0f}%.  Full "
+              f"tracing stitched "
+              f"{regimes['full']['traces_stitched_total']} "
+              f"cross-process traces (its overhead is recorded, not "
+              f"barred)."))
+    publish("e17_distributed_obs", table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_e17_distributed_obs.json").write_text(
+        json.dumps(report, indent=2, default=str) + "\n",
+        encoding="utf-8")
+    return report
+
+
+def test_e17_report():
+    report = run(quick=True)
+    if report["default_overhead_percent"] >= 10.0:
+        # One retry: a noisy CI neighbour can blur an ~8ms median.
+        report = run(quick=True)
+    regimes = report["regimes"]
+    for name in ("off", "default", "full"):
+        assert regimes[name]["median_qps"] > 0
+    # Sampling off records nothing; full records every request
+    # (measured rounds + the untimed warm-up).
+    assert regimes["off"]["traces_stitched_total"] == 0
+    assert regimes["full"]["traces_stitched_total"] >= \
+        report["rounds"] * report["requests_per_round"]
+    # The full run's recorded bar is 3% (see EXPERIMENTS.md E17); on
+    # shared CI machines the quick run asserts a noise-tolerant 10%,
+    # mirroring E13's precedent.
+    assert report["default_overhead_percent"] < 10.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    argument_parser = argparse.ArgumentParser(description=__doc__)
+    argument_parser.add_argument("--quick", action="store_true",
+                                 help="small scale for CI smoke runs")
+    arguments = argument_parser.parse_args()
+    result = run(quick=arguments.quick)
+    print(json.dumps({
+        "median_qps": {name: result["regimes"][name]["median_qps"]
+                       for name in result["regimes"]},
+        "default_overhead_percent":
+            result["default_overhead_percent"],
+        "full_overhead_percent":
+            result["regimes"]["full"]["overhead_percent"],
+        "traces_stitched_full":
+            result["regimes"]["full"]["traces_stitched_total"],
+    }, indent=2))

@@ -70,10 +70,10 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
-    # E10-E16 follow the run(quick)/test_eN_report() shape (no
+    # E10-E17 follow the run(quick)/test_eN_report() shape (no
     # benchmark fixture): serving-layer caches, concurrency, durability,
     # observability overhead, columnar execution, MVCC snapshot reads,
-    # network serving.
+    # network serving, distributed tracing overhead.
     from benchmarks import (
         bench_e10_query_cache,
         bench_e11_concurrency,
@@ -82,6 +82,7 @@ def main() -> None:
         bench_e14_columnar,
         bench_e15_mvcc,
         bench_e16_server,
+        bench_e17_distributed_obs,
     )
 
     for label, module in (("E10", bench_e10_query_cache),
@@ -90,7 +91,8 @@ def main() -> None:
                           ("E13", bench_e13_observability),
                           ("E14", bench_e14_columnar),
                           ("E15", bench_e15_mvcc),
-                          ("E16", bench_e16_server)):
+                          ("E16", bench_e16_server),
+                          ("E17", bench_e17_distributed_obs)):
         print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
         module.run(quick=False)
 

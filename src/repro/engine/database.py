@@ -837,7 +837,7 @@ class Database:
                             error=type(error).__name__)
                     observability.record_query_error(
                         error, text=text, elapsed_seconds=elapsed,
-                        io=io_delta)
+                        io=io_delta, span=query_span)
                     raise error
                 if cacheable:
                     # Stamped with the *pinned* snapshot's stamp: if a
@@ -911,7 +911,17 @@ class Database:
         ``metrics``
             The Prometheus exposition text (``metrics_text``).
         ``admin``
-            ``action`` in ``ping`` / ``stats`` / ``generation``.
+            ``action`` in ``ping`` / ``stats`` / ``generation`` /
+            ``slowlog`` / ``errors``.
+
+        **Trace adoption** — a request may carry a ``trace`` dict
+        (``trace_id``, ``span_id``, ``sampled``, ``node``) propagated
+        by the server frontend.  When ``sampled`` is true, execution
+        runs under an adopted root span joining that cross-process
+        trace (the nested compile/plan/execute spans join with it),
+        and the finished span tree ships back piggybacked on the
+        response under ``"spans"`` for the frontend to stitch.  When
+        absent or unsampled, nothing here allocates.
 
         Failures raise the engine's normal typed exceptions
         (:class:`~repro.errors.QuerySyntaxError`,
@@ -921,6 +931,25 @@ class Database:
         """
         if not isinstance(request, dict):
             raise ExecutionError("request must be a dictionary")
+        trace_context = request.get("trace")
+        if isinstance(trace_context, dict) \
+                and trace_context.get("sampled"):
+            span = self.observability.tracer.adopt(
+                "server.worker",
+                trace_id=trace_context.get("trace_id"),
+                parent_id=trace_context.get("span_id"),
+                sampled=True,
+                node=str(trace_context.get("node") or "worker"),
+                verb=str(request.get("verb")))
+            with span:
+                response = self._execute_verb(request)
+            if isinstance(response, dict) and span.is_recording:
+                response["spans"] = span.to_dict()
+            return response
+        return self._execute_verb(request)
+
+    def _execute_verb(self, request: dict) -> dict:
+        """:meth:`execute_request` minus the trace adoption wrapper."""
         verb = request.get("verb")
         if verb == "query":
             return self._query_request(request)
@@ -1027,9 +1056,33 @@ class Database:
                 "wal_records_replayed": recovery.get(
                     "wal_records_replayed", 0),
             }
+        if action == "slowlog":
+            log = self.observability.slow_log
+            return {"ok": True, "verb": "admin", "action": "slowlog",
+                    "threshold_seconds": log.threshold_seconds,
+                    "recorded_total": log.recorded_total,
+                    "entries": log.entries(
+                        limit=self._entry_limit(request))}
+        if action == "errors":
+            log = self.observability.error_log
+            return {"ok": True, "verb": "admin", "action": "errors",
+                    "recorded_total": log.recorded_total,
+                    "entries": log.entries(
+                        limit=self._entry_limit(request))}
         raise ExecutionError(
             f"unknown admin action {action!r}; expected one of "
-            f"ping/stats/generation")
+            f"ping/stats/generation/slowlog/errors")
+
+    @staticmethod
+    def _entry_limit(request: dict, default: int = 32) -> int:
+        limit = request.get("limit", default)
+        try:
+            limit = int(limit)
+        except (TypeError, ValueError):
+            raise ExecutionError("'limit' must be an integer")
+        if limit < 1:
+            raise ExecutionError("'limit' must be >= 1")
+        return limit
 
     def cache_report(self) -> dict:
         """Counters and occupancy of every serving-layer cache."""

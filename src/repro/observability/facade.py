@@ -80,29 +80,39 @@ class Observability:
                       span=None) -> None:
         """Record one finished query: latency histogram, throughput
         counter, and (over threshold) a slow-query log entry carrying
-        the span tree when tracing sampled this query."""
+        the ``trace_id`` and span tree when tracing sampled this query
+        (the id joins slowlog lines to their cross-process traces —
+        see ``/debug/slowlog`` on the server frontend)."""
         self.query_latency.observe(elapsed_seconds)
         self.queries_total.inc(1, strategy=str(strategy), source=source)
         if elapsed_seconds >= self.slow_log.threshold_seconds:
             trace = None
+            trace_id = None
             if span is not None and getattr(span, "is_recording", False):
                 trace = span.to_dict()
+                trace_id = str(span.trace_id)
             self.slow_log.maybe_record(
                 elapsed_seconds, text=text, strategy=strategy,
                 source=source, io=dict(io), stats=dict(stats),
-                trace=trace)
+                trace=trace, trace_id=trace_id)
 
     def record_query_error(self, exception: BaseException, text: str,
-                           elapsed_seconds: float, io: dict) -> None:
+                           elapsed_seconds: float, io: dict,
+                           span=None) -> None:
         """Count + journal one failed execution (the I/O it consumed is
-        preserved here so it never leaks out of every ledger)."""
+        preserved here so it never leaks out of every ledger; the
+        ``trace_id`` — when tracing sampled the query — joins error
+        lines to their traces)."""
         self.query_errors_total.inc(
             1, exception=type(exception).__name__)
         if isinstance(exception, QueryTimeoutError):
             self.query_timeouts_total.inc(1)
+        trace_id = None
+        if span is not None and getattr(span, "is_recording", False):
+            trace_id = str(span.trace_id)
         self.error_log.record(exception, text=text,
                               elapsed_seconds=elapsed_seconds,
-                              io=dict(io))
+                              io=dict(io), trace_id=trace_id)
 
     def on_lock_wait(self, mode: str, waited_seconds: float) -> None:
         """RWLock observer callback (see ``RWLock.observer``)."""

@@ -26,11 +26,13 @@ The module depends on the standard library only.
 from __future__ import annotations
 
 import math
+import re
 import threading
 from bisect import bisect_left
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricsAggregator", "parse_exposition",
            "DEFAULT_LATENCY_BUCKETS"]
 
 # Prometheus-style latency buckets (seconds); chosen to straddle this
@@ -479,3 +481,166 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MetricsRegistry {len(self._instruments)} metrics>"
+
+
+# -- exposition parsing + fleet merge ---------------------------------------------
+#
+# A multi-process server scrapes one exposition *per worker*; naive
+# concatenation is invalid Prometheus text (duplicate # HELP/# TYPE
+# lines per family, duplicate samples).  The aggregator re-parses each
+# exposition and merges per family kind: counters and histogram series
+# are summed across sources (so fleet totals are real totals), gauges
+# get a ``worker`` label per source (summing capacities or 0/1 flags
+# would be meaningless).
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})? "
+    r"([+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)|\+Inf|-Inf|NaN)$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_SPECIAL_VALUES = {"+Inf": math.inf, "-Inf": -math.inf,
+                   "NaN": math.nan}
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text exposition into
+    ``{family: {"kind", "help", "samples": [(name, labels, value)]}}``.
+
+    ``family`` strips the ``_bucket``/``_sum``/``_count`` suffixes of
+    histogram sample names, so a histogram's three sample shapes group
+    under one entry.  Unparseable lines raise ``ValueError`` — a
+    scrape that cannot be merged must fail loudly, not silently drop
+    series."""
+    families: dict[str, dict] = {}
+
+    def family_for(name: str, declared: bool = False) -> dict:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"kind": "untyped", "help": "", "samples": []}
+            families[name] = entry
+        return entry
+
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family_for(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family_for(name)["kind"] = kind.strip()
+            typed.add(name)
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, labels_text, value_text = match.groups()
+        labels = tuple(sorted(
+            (label_name, _unescape_label_value(raw))
+            for label_name, raw in _LABEL_RE.findall(labels_text or "")))
+        value = _SPECIAL_VALUES.get(value_text)
+        if value is None:
+            value = float(value_text)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = base if base in typed and name not in typed else name
+        family_for(family)["samples"].append((name, labels, value))
+    return families
+
+
+class MetricsAggregator:
+    """Merges scraped expositions into one valid fleet exposition.
+
+    Usage (the server frontend's ``/metrics``)::
+
+        aggregator = MetricsAggregator()
+        aggregator.ingest(frontend_registry.render_prometheus())
+        for index, text in scraped_workers:
+            aggregator.ingest(text, worker=str(index))
+        merged = aggregator.render()
+
+    Per family kind: **counter** and **histogram** samples with
+    identical label sets are *summed* across sources (the merged
+    ``repro_queries_total`` is the whole fleet's); **gauge** (and
+    untyped) samples gain a ``worker=<source>`` label so per-worker
+    states stay distinguishable and are never nonsensically added.
+    ``# HELP``/``# TYPE`` render exactly once per family — the first
+    ingested wins."""
+
+    _SUMMED_KINDS = ("counter", "histogram", "summary")
+
+    def __init__(self):
+        # family -> {"kind", "help", "values": {(name, labels): value}}
+        self._families: dict[str, dict] = {}
+        self._order: list[str] = []
+
+    def ingest(self, text: str, worker: Optional[str] = None) -> None:
+        """Merge one exposition; ``worker`` labels its gauge samples."""
+        for family, parsed in parse_exposition(text).items():
+            entry = self._families.get(family)
+            if entry is None:
+                entry = {"kind": parsed["kind"], "help": parsed["help"],
+                         "values": {}}
+                self._families[family] = entry
+                self._order.append(family)
+            summed = entry["kind"] in self._SUMMED_KINDS
+            for name, labels, value in parsed["samples"]:
+                if worker is not None and not summed:
+                    labels = tuple(sorted(
+                        dict(labels, worker=worker).items()))
+                key = (name, labels)
+                if summed:
+                    entry["values"][key] = \
+                        entry["values"].get(key, 0.0) + value
+                else:
+                    entry["values"][key] = value
+
+    def render(self) -> str:
+        """The merged text exposition (families in ingestion order)."""
+        lines: list[str] = []
+        for family in self._order:
+            entry = self._families[family]
+            if entry["help"]:
+                lines.append(f"# HELP {family} {entry['help']}")
+            lines.append(f"# TYPE {family} {entry['kind']}")
+            histogram = entry["kind"] == "histogram"
+            for name, labels in sorted(entry["values"],
+                                       key=_sample_sort_key):
+                value = entry["values"][(name, labels)]
+                rendered = ",".join(
+                    f'{label}="{_escape_label_value(text)}"'
+                    for label, text in labels)
+                labels_text = f"{{{rendered}}}" if rendered else ""
+                if histogram and name.endswith(("_bucket", "_count")):
+                    value_text = str(int(value))
+                else:
+                    value_text = _format_value(value)
+                lines.append(f"{name}{labels_text} {value_text}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _sample_sort_key(key: tuple) -> tuple:
+    """Keep a histogram's ``le`` buckets in numeric order (and
+    ``_bucket`` lines ahead of ``_sum``/``_count``), everything else
+    lexicographic."""
+    name, labels = key
+    le = dict(labels).get("le")
+    suffix_rank = (0 if name.endswith("_bucket")
+                   else 1 if name.endswith("_sum") else 2)
+    bound = math.inf
+    if le is not None:
+        bound = math.inf if le == "+Inf" else float(le)
+    without_le = tuple(pair for pair in labels if pair[0] != "le")
+    return (without_le, suffix_rank, bound, name)

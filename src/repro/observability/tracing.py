@@ -29,6 +29,21 @@ traces everything; intermediate rates sample per *trace* (the root span
 flips the coin; children always follow their root's decision so traces
 are never torn).
 
+Cross-process traces
+--------------------
+
+A trace can span processes: the query server's frontend mints a wire
+``trace_id`` and each hop joins it through :meth:`Tracer.adopt`, which
+creates a root-level span carrying a *remote* trace id and parent span
+id instead of flipping the local sampling coin (the edge that started
+the trace already decided).  Finished span trees round-trip through
+:meth:`Span.to_dict` / :func:`span_from_dict`, so a worker process can
+ship its fragment back piggybacked on a response and the frontend can
+stitch it under its own dispatch span (:meth:`Span.shift` rebases the
+imported fragment onto the local ``perf_counter`` timeline).
+:func:`to_chrome_trace` renders any stitched tree as Chrome
+trace-event JSON loadable in ``chrome://tracing`` or Perfetto.
+
 The module depends on the standard library only.
 """
 
@@ -39,9 +54,10 @@ import random
 import threading
 import time
 from collections import deque
-from typing import Optional
+from typing import Optional, Union
 
-__all__ = ["Span", "Tracer", "NULL_SPAN"]
+__all__ = ["Span", "Tracer", "NULL_SPAN", "span_from_dict",
+           "to_chrome_trace"]
 
 
 class Span:
@@ -103,16 +119,34 @@ class Span:
     # -- export ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """A JSON-friendly copy of the whole subtree."""
+        """A JSON-friendly copy of the whole subtree.
+
+        ``start_seconds`` is the local ``perf_counter`` timestamp —
+        meaningless across processes in absolute terms, but the
+        *offsets* between a tree's spans are exact, which is what
+        :func:`span_from_dict` + :meth:`shift` need to rebase an
+        imported fragment onto another process's timeline."""
         return {
             "name": self.name,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "start_seconds": self.started,
             "duration_seconds": self.duration_seconds,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
+
+    def shift(self, delta_seconds: float) -> "Span":
+        """Move this whole subtree by ``delta_seconds`` (used when
+        stitching a remote fragment into a local trace, whose
+        ``perf_counter`` base is different)."""
+        self.started += delta_seconds
+        if self.ended is not None:
+            self.ended += delta_seconds
+        for child in self.children:
+            child.shift(delta_seconds)
+        return self
 
     def find(self, name: str) -> Optional["Span"]:
         """Depth-first search of the subtree by span name."""
@@ -264,6 +298,48 @@ class Tracer:
             self.spans_started += 1
         return Span(name, trace_id, span_id, None, attributes, self)
 
+    def adopt(self, name: str, trace_id=None, parent_id=None,
+              sampled: Optional[bool] = None, **attributes):
+        """A root-level span that *joins* a cross-process trace.
+
+        ``trace_id``/``parent_id`` carry the remote context (a wire
+        trace id minted elsewhere and the remote parent span's id);
+        ``sampled`` overrides the local coin — the edge that started
+        the trace already decided, and every hop must follow so traces
+        are never torn:
+
+        * ``sampled=True`` — record unconditionally (the remote root
+          sampled this trace; a worker's own ``sample_rate`` of 0.0
+          does not tear it);
+        * ``sampled=False`` — return the shared no-op span (and
+          suppress every span nested under it, exactly like an
+          unsampled local root);
+        * ``sampled=None`` — flip the local coin, but keep the remote
+          ``trace_id`` when recording (how the frontend adopts a
+          client-minted id under its own ``sample_rate``).
+
+        The finished span lands in this tracer's ring buffer like any
+        local root; export it with :meth:`Span.to_dict` to ship it to
+        the process that owns the rest of the trace.
+        """
+        if getattr(self._local, "null_depth", 0) > 0:
+            return self._null
+        if sampled is False:
+            return self._null
+        if sampled is None:
+            rate = self.sample_rate
+            if rate <= 0.0 or (rate < 1.0
+                               and self._rng.random() >= rate):
+                return self._null
+        with self._lock:
+            span_id = next(self._ids)
+            if trace_id is None:
+                trace_id = next(self._ids)
+            self.traces_started += 1
+            self.spans_started += 1
+        return Span(name, trace_id, span_id, parent_id, attributes,
+                    self)
+
     # -- stack bookkeeping (called by Span) --------------------------------------
 
     def _push(self, span: Span) -> None:
@@ -327,3 +403,87 @@ class Tracer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Tracer rate={self.sample_rate} "
                 f"buffered={len(self._finished)}/{self.capacity}>")
+
+    def find_trace(self, trace_id) -> Optional[Span]:
+        """The newest buffered root span whose trace id matches
+        (ids are compared as strings: wire trace ids are hex text,
+        local ones are ints)."""
+        wanted = str(trace_id)
+        with self._lock:
+            buffered = list(self._finished)
+        for span in reversed(buffered):
+            if str(span.trace_id) == wanted:
+                return span
+        return None
+
+
+# -- cross-process import / export ------------------------------------------------
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output.
+
+    The result is a plain data tree (its tracer slot is ``None``; it
+    must never be used as a context manager) — what the frontend
+    stitches under its dispatch span after a worker ships its fragment
+    back over the wire."""
+    span = Span(str(data.get("name", "")), data.get("trace_id"),
+                int(data.get("span_id") or 0), data.get("parent_id"),
+                dict(data.get("attributes") or {}), tracer=None)
+    span.started = float(data.get("start_seconds") or 0.0)
+    span.ended = span.started + float(data.get("duration_seconds")
+                                      or 0.0)
+    span.children = [span_from_dict(child)
+                     for child in data.get("children") or []]
+    return span
+
+
+def to_chrome_trace(trace: Union[Span, dict]) -> dict:
+    """Render one (stitched) trace as Chrome trace-event JSON.
+
+    The returned object serialises to a file loadable in
+    ``chrome://tracing`` or Perfetto: one complete (``"ph": "X"``)
+    event per span, timestamps in microseconds relative to the root,
+    and one thread lane per ``node`` attribute (``frontend``,
+    ``worker-0``, ...) announced through ``thread_name`` metadata
+    events — so a cross-process trace renders as parallel swimlanes.
+    """
+    if isinstance(trace, Span):
+        trace = trace.to_dict()
+    base = float(trace.get("start_seconds") or 0.0)
+    lanes: dict[str, int] = {}
+    events: list[dict] = []
+
+    def lane(node: str) -> int:
+        tid = lanes.get(node)
+        if tid is None:
+            tid = len(lanes) + 1
+            lanes[node] = tid
+            events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                           "tid": tid, "args": {"name": node}})
+        return tid
+
+    def emit(node: dict, inherited: str) -> None:
+        attributes = dict(node.get("attributes") or {})
+        where = str(attributes.get("node") or inherited)
+        args = {key: value if isinstance(value, (int, float, bool))
+                else str(value) for key, value in attributes.items()}
+        args["trace_id"] = str(node.get("trace_id"))
+        args["span_id"] = node.get("span_id")
+        events.append({
+            "name": str(node.get("name", "")),
+            "cat": "repro",
+            "ph": "X",
+            "pid": 1,
+            "tid": lane(where),
+            "ts": (float(node.get("start_seconds") or 0.0) - base)
+            * 1e6,
+            "dur": float(node.get("duration_seconds") or 0.0) * 1e6,
+            "args": args,
+        })
+        for child in node.get("children") or []:
+            emit(child, where)
+
+    emit(trace, "frontend")
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"trace_id": str(trace.get("trace_id"))}}

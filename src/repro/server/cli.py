@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 30)")
     parser.add_argument("--inline-concurrency", type=int, default=4,
                         help="execution slots when --workers 0")
+    parser.add_argument("--trace-sample", type=float, default=0.01,
+                        help="fraction of requests traced end-to-end "
+                             "(default 0.01; 0 disables tracing, 1 "
+                             "traces everything)")
+    parser.add_argument("--slow-query-seconds", type=float,
+                        default=None,
+                        help="per-worker slow-query threshold feeding "
+                             "/debug/slowlog (default: engine default)")
     return parser
 
 
@@ -57,13 +65,16 @@ def main(argv: Optional[list] = None) -> int:
         workers=args.workers, max_connections=args.max_connections,
         max_queue=args.max_queue,
         default_timeout_seconds=args.timeout,
-        inline_concurrency=args.inline_concurrency)
+        inline_concurrency=args.inline_concurrency,
+        trace_sample=args.trace_sample,
+        slow_query_seconds=args.slow_query_seconds)
     frontend.start()
     host, port = frontend.address
     print(f"repro-server listening on {host}:{port} "
           f"({args.workers} worker(s), data dir {args.data_dir!r})",
           file=sys.stderr)
     print(f"  curl http://{host}:{port}/metrics", file=sys.stderr)
+    print(f"  curl http://{host}:{port}/debug/traces", file=sys.stderr)
     print(f"  curl -X POST http://{host}:{port}/query "
           f"-d '{{\"text\": \"//site\"}}'", file=sys.stderr)
     try:

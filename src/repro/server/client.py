@@ -30,6 +30,8 @@ Usage::
 
 from __future__ import annotations
 
+import itertools
+import os
 import socket
 import threading
 from typing import Optional
@@ -59,6 +61,7 @@ class ServerClient:
         self._pool: list[socket.socket] = []
         self._lock = threading.Lock()
         self._closed = False
+        self._request_ids = itertools.count(1)
 
     # -- pool plumbing -------------------------------------------------------------
 
@@ -111,7 +114,21 @@ class ServerClient:
         Typed server errors raise immediately; connection failures
         retry on a fresh socket when ``idempotent`` (every read verb),
         up to ``self.retries`` extra attempts.
+
+        Every request carries a client-minted trace context (a
+        ``trace_id`` plus a per-client ``request_id``) unless the
+        caller provided one; the server adopts the id — whether its
+        sampler records the trace is the *server's* decision — and
+        echoes it back as ``trace_id`` on the response, so any answer
+        can be joined to its stitched cross-process trace at
+        ``/debug/traces/<trace_id>``.
         """
+        if not isinstance(request.get("trace"), dict):
+            request = dict(request)
+            request["trace"] = {
+                "trace_id": os.urandom(8).hex(),
+                "request_id": next(self._request_ids),
+            }
         attempts = 1 + (self.retries if idempotent else 0)
         last_error: Optional[BaseException] = None
         for _attempt in range(attempts):

@@ -29,14 +29,33 @@ hello or an HTTP request line):
    answers anything new with the typed ``DRAINING`` error — zero
    in-flight queries are lost.
 
-Everything observable exports under the ``repro_server_*`` metric
-namespace on the frontend's own registry; ``GET /metrics`` serves that
-text concatenated with the engine's ``repro_*`` exposition (from the
-inline database, or worker 0).
+Observability (PR 9) is end-to-end:
+
+* **Traces** — every request runs under a ``server.request`` root span
+  (adopting the client-minted ``trace_id`` from the request's
+  ``trace`` field or the ``X-Repro-Trace-Id`` header) with
+  ``server.admit`` (slot/queue wait, measured separately) and
+  ``server.dispatch`` children; the worker adopts the propagated
+  context in ``Database.execute_request`` and ships its finished span
+  fragment back piggybacked on the response, which the frontend
+  stitches into one cross-process trace tree in its ring buffer.
+* **Fleet metrics** — ``GET /metrics`` scrapes *every* live worker and
+  merges the expositions through
+  :class:`~repro.observability.metrics.MetricsAggregator` (counters
+  and histograms summed fleet-wide, gauges per-``worker`` labelled,
+  one ``# HELP``/``# TYPE`` per family), so the merged text stays
+  valid Prometheus and ``repro_queries_total`` is the whole fleet's.
+* **Debug surface** — ``GET /healthz``, ``/varz``, ``/debug/traces``
+  (stitched traces, newest first; ``/debug/traces/<id>`` exports one
+  as Chrome trace-event JSON), ``/debug/slowlog`` and
+  ``/debug/errors`` (worker journals merged, joined to traces by
+  ``trace_id``).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import socket
 import threading
 import time
@@ -45,10 +64,16 @@ from typing import Optional
 from repro.errors import (
     ExecutionError,
     ProtocolError,
+    QueryTimeoutError,
     ServerBusyError,
     ServerDrainingError,
 )
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.metrics import MetricsAggregator, MetricsRegistry
+from repro.observability.tracing import (
+    Tracer,
+    span_from_dict,
+    to_chrome_trace,
+)
 from repro.server import protocol
 from repro.server.worker import WorkerHandle, spawn_worker
 
@@ -82,6 +107,16 @@ class ServerFrontend:
     inline_concurrency:
         Execution slots in inline mode (worker mode uses one slot per
         worker).
+    trace_sample:
+        Fraction of requests traced end-to-end (the frontend's root
+        span flips the coin; workers always follow, so traces are
+        never torn).  The default 0.01 keeps the measured overhead
+        under the E17 3% bar; 0.0 disables tracing entirely.
+    trace_capacity:
+        Stitched traces kept in the frontend's ring buffer.
+    slow_query_seconds:
+        When set, forwarded to every worker's ``Database`` as its
+        slow-query threshold (``/debug/slowlog`` drill-down).
     db_kwargs:
         Extra :class:`Database` constructor kwargs for worker opens
         (e.g. ``{"result_cache_size": 0}`` for benchmark honesty).
@@ -92,6 +127,9 @@ class ServerFrontend:
                  max_connections: int = 64, max_queue: int = 16,
                  default_timeout_seconds: float = 30.0,
                  inline_concurrency: int = 4,
+                 trace_sample: float = 0.01,
+                 trace_capacity: int = 256,
+                 slow_query_seconds: Optional[float] = None,
                  db_kwargs: Optional[dict] = None):
         if workers > 0 and data_dir is None:
             raise ExecutionError(
@@ -109,6 +147,11 @@ class ServerFrontend:
         self.default_timeout_seconds = default_timeout_seconds
         self.inline_concurrency = max(1, inline_concurrency)
         self.db_kwargs = dict(db_kwargs or {})
+        if slow_query_seconds is not None:
+            self.db_kwargs.setdefault("slow_query_seconds",
+                                      float(slow_query_seconds))
+        self.tracer = Tracer(sample_rate=trace_sample,
+                             capacity=trace_capacity)
         self._owns_database = False
 
         self._handles: list[WorkerHandle] = []
@@ -145,14 +188,36 @@ class ServerFrontend:
             "repro_server_rejections_total",
             "Requests/connections rejected, by reason.",
             labelnames=("reason",))
+        self.errors_total = registry.counter(
+            "repro_server_errors_total",
+            "Requests answered with a typed error, by verb and wire "
+            "error code.", labelnames=("verb", "code"))
+        self.timeouts_total = registry.counter(
+            "repro_server_timeouts_total",
+            "Requests rejected at their wall-clock deadline, by stage "
+            "(admission = budget exhausted queuing, before any "
+            "execution).", labelnames=("stage",))
+        self.queue_wait = registry.histogram(
+            "repro_server_queue_wait_seconds",
+            "Time spent waiting for an execution slot (measured for "
+            "every admitted request, traced or not).")
+        self.worker_rtt = registry.histogram(
+            "repro_server_worker_rtt_seconds",
+            "Round-trip time of worker pipe calls, by worker.",
+            labelnames=("worker",))
         registry.register_pull(
             "repro_server_queue_depth", "gauge",
             "Requests waiting for an execution slot.",
             lambda: self._waiting)
         registry.register_pull(
             "repro_server_inflight", "gauge",
-            "Requests currently executing.",
-            lambda: self._running)
+            "Requests currently executing, by worker (inline mode "
+            "executes on connection threads).",
+            self._inflight_by_worker, labelnames=("worker",))
+        registry.register_pull(
+            "repro_server_traces_stitched_total", "counter",
+            "Cross-process traces stitched into the ring buffer.",
+            lambda: self.tracer.traces_finished)
         registry.register_pull(
             "repro_server_open_connections", "gauge",
             "Client connections currently open.",
@@ -353,12 +418,16 @@ class ServerFrontend:
         parsed = protocol.read_http_request(sock, initial=initial)
         if parsed is None:
             return
-        method, path, _headers, body = parsed
-        path = path.split("?", 1)[0]
+        method, path, headers, body = parsed
+        path, _, query_string = path.partition("?")
         if method == "GET" and path == "/metrics":
             sock.sendall(protocol.http_response(
                 200, "OK", self.metrics_text().encode("utf-8"),
                 content_type="text/plain; version=0.0.4"))
+            return
+        debug = self._serve_debug_endpoint(method, path, query_string)
+        if debug is not None:
+            sock.sendall(debug)
             return
         try:
             if method == "GET" and path == "/ping":
@@ -378,29 +447,126 @@ class ServerFrontend:
             sock.sendall(protocol.http_json_response(
                 protocol.error_payload(exc)))
             return
+        header_trace = headers.get(protocol.TRACE_HEADER.lower())
+        if header_trace and not isinstance(request.get("trace"), dict):
+            request["trace"] = {"trace_id": header_trace}
         response = self.handle_request(request)
         sock.sendall(protocol.http_json_response(response))
 
+    @staticmethod
+    def _query_limit(query_string: str, default: int = 32) -> int:
+        """The ``limit=N`` query parameter, clamped to sanity."""
+        for pair in query_string.split("&"):
+            name, _, value = pair.partition("=")
+            if name == "limit":
+                try:
+                    return max(1, min(int(value), 1024))
+                except ValueError:
+                    break
+        return default
+
+    def _serve_debug_endpoint(self, method: str, path: str,
+                              query_string: str) -> Optional[bytes]:
+        """The live debug surface; ``None`` when ``path`` is not ours."""
+        if method != "GET":
+            return None
+        if path == "/healthz":
+            if self._draining:
+                return protocol.http_response(
+                    503, "Service Unavailable",
+                    b'{"ok": false, "status": "draining"}\n')
+            return protocol.http_response(
+                200, "OK", b'{"ok": true, "status": "serving"}\n')
+        limit = self._query_limit(query_string)
+        if path == "/varz":
+            payload = self.debug_report()
+        elif path == "/debug/traces":
+            payload = {"ok": True, "traces": self.traces(limit=limit)}
+        elif path.startswith("/debug/traces/"):
+            trace_id = path[len("/debug/traces/"):]
+            chrome = self.chrome_trace(trace_id)
+            if chrome is None:
+                return protocol.http_response(
+                    404, "Not Found",
+                    json.dumps({"ok": False,
+                                "error": f"no stitched trace "
+                                         f"{trace_id!r} in the ring "
+                                         f"buffer"}).encode("utf-8")
+                    + b"\n")
+            payload = chrome
+        elif path == "/debug/slowlog":
+            payload = {"ok": True,
+                       "entries": self._collect_journal("slowlog",
+                                                        limit)}
+        elif path == "/debug/errors":
+            payload = {"ok": True,
+                       "entries": self._collect_journal("errors",
+                                                        limit)}
+        else:
+            return None
+        body = json.dumps(payload, indent=2,
+                          default=str).encode("utf-8") + b"\n"
+        return protocol.http_response(200, "OK", body)
+
     # -- admission + dispatch ------------------------------------------------------
+
+    def _inflight_by_worker(self) -> dict:
+        if self._handles:
+            return {str(handle.index): handle.inflight
+                    for handle in self._handles}
+        return {"inline": self._running}
 
     def handle_request(self, request: dict) -> dict:
         """Admit, dispatch, and account one request; always returns a
-        response dict (errors as typed payloads, never raises)."""
+        response dict (errors as typed payloads, never raises).
+
+        The whole exchange runs under a ``server.request`` root span
+        adopting the client-minted trace id (``request["trace"]``);
+        every response dict carries that ``trace_id`` back so callers
+        can join answers to stitched traces in ``/debug/traces``."""
         verb = str(request.get("verb") or "?")
         started = time.perf_counter()
-        response = self._admit_and_dispatch(request)
-        outcome = ("ok" if response.get("ok")
-                   else response.get("code", "INTERNAL"))
+        trace_context = request.get("trace")
+        if not isinstance(trace_context, dict):
+            trace_context = {}
+        trace_id = trace_context.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            trace_id = os.urandom(8).hex()
+        with self.tracer.adopt(
+                "server.request", trace_id=trace_id, verb=verb,
+                request_id=trace_context.get("request_id"),
+                node="frontend") as root_span:
+            response = self._admit_and_dispatch(request, trace_id)
+            outcome = ("ok" if response.get("ok")
+                       else response.get("code", "INTERNAL"))
+            root_span.set(outcome=outcome)
         self.requests_total.inc(1, verb=verb, outcome=outcome)
+        if outcome != "ok":
+            self.errors_total.inc(1, verb=verb, code=outcome)
         self.request_latency.observe(time.perf_counter() - started,
                                      verb=verb)
+        if isinstance(response, dict):
+            response.setdefault("trace_id", trace_id)
         return response
 
-    def _admit_and_dispatch(self, request: dict) -> dict:
+    def _admit_and_dispatch(self, request: dict,
+                            trace_id: str) -> dict:
         if self._draining:
             self.rejections_total.inc(1, reason="draining")
             return protocol.error_payload(ServerDrainingError(
                 "server is draining; retry against another replica"))
+        # The request's whole wall-clock budget starts *here*: time
+        # spent queuing for a slot is charged against it, so a request
+        # that exhausted its budget waiting is rejected before any
+        # execution and the worker only ever sees the *remaining*
+        # deadline.
+        timeout = None
+        if request.get("verb") == "query":
+            timeout = request.get("timeout_seconds")
+            if timeout is None and self.default_timeout_seconds:
+                timeout = self.default_timeout_seconds
+        deadline = (None if timeout is None
+                    else time.monotonic() + float(timeout))
         with self._admission_lock:
             if self._waiting >= self.max_queue:
                 over = True
@@ -412,33 +578,49 @@ class ServerFrontend:
             return protocol.error_payload(ServerBusyError(
                 f"admission queue full ({self.max_queue} waiting); "
                 f"retry after backoff"))
+        wait_started = time.perf_counter()
         acquired = False
         try:
-            self._slots.acquire()
-            acquired = True
+            with self.tracer.span("server.admit") as admit_span:
+                self._slots.acquire()
+                acquired = True
+                waited = time.perf_counter() - wait_started
+                admit_span.set(queue_wait_seconds=waited)
         finally:
+            if not acquired:
+                waited = time.perf_counter() - wait_started
             with self._admission_lock:
                 self._waiting -= 1
                 if acquired:
                     self._running += 1
+        self.queue_wait.observe(waited)
         try:
             if self._draining:
                 self.rejections_total.inc(1, reason="draining")
                 return protocol.error_payload(ServerDrainingError(
                     "server began draining while this request was "
                     "queued"))
-            return self._dispatch(request)
+            if deadline is not None \
+                    and time.monotonic() >= deadline:
+                self.timeouts_total.inc(1, stage="admission")
+                return protocol.error_payload(QueryTimeoutError(
+                    f"request exhausted its {timeout:.3f}s budget "
+                    f"after {waited:.3f}s in the admission queue; "
+                    f"rejected before execution"))
+            return self._dispatch(request, deadline, trace_id)
         finally:
             with self._admission_lock:
                 self._running -= 1
             self._slots.release()
 
-    def _dispatch(self, request: dict) -> dict:
+    def _dispatch(self, request: dict, deadline: Optional[float],
+                  trace_id: str) -> dict:
         request = dict(request)
-        if (request.get("verb") == "query"
-                and request.get("timeout_seconds") is None
-                and self.default_timeout_seconds):
-            request["timeout_seconds"] = self.default_timeout_seconds
+        if deadline is not None:
+            # Remaining budget only — the admission wait already
+            # consumed part of it.
+            request["timeout_seconds"] = max(
+                deadline - time.monotonic(), 1e-6)
         wait = (request.get("timeout_seconds")
                 or self.default_timeout_seconds or 30.0)
         if self._handles:
@@ -449,11 +631,59 @@ class ServerFrontend:
             if handle is None:
                 return protocol.error_payload(
                     RuntimeError("no live worker processes"))
-            return handle.call(request, timeout=wait)
+            with self.tracer.span("server.dispatch",
+                                  worker=handle.index) as dispatch_span:
+                self._attach_trace(request, dispatch_span, trace_id,
+                                   node=f"worker-{handle.index}")
+                call_started = time.perf_counter()
+                response = handle.call(request, timeout=wait)
+                rtt = time.perf_counter() - call_started
+                self.worker_rtt.observe(rtt, worker=str(handle.index))
+                dispatch_span.set(rtt_seconds=rtt)
+                self._stitch(dispatch_span, response)
+            return response
+        with self.tracer.span("server.dispatch",
+                              worker="inline") as dispatch_span:
+            self._attach_trace(request, dispatch_span, trace_id,
+                               node="inline")
+            try:
+                response = self.database.execute_request(request)
+            except Exception as exc:
+                response = protocol.error_payload(exc)
+            self._stitch(dispatch_span, response)
+        return response
+
+    def _attach_trace(self, request: dict, dispatch_span,
+                      trace_id: str, node: str) -> None:
+        """Propagate the trace context one hop down — or strip it, so
+        an unsampled request costs the worker nothing."""
+        if dispatch_span.is_recording:
+            request["trace"] = {"trace_id": trace_id,
+                                "span_id": dispatch_span.span_id,
+                                "sampled": True, "node": node}
+        else:
+            request.pop("trace", None)
+
+    def _stitch(self, dispatch_span, response) -> None:
+        """Graft the worker's piggybacked span fragment under the
+        dispatch span, rebased onto this process's timeline (the
+        fragment is centred in the dispatch window: the network/pipe
+        time is split symmetrically around it)."""
+        if not isinstance(response, dict):
+            return
+        fragment = response.pop("spans", None)
+        if not fragment or not dispatch_span.is_recording:
+            return
         try:
-            return self.database.execute_request(request)
-        except Exception as exc:
-            return protocol.error_payload(exc)
+            imported = span_from_dict(fragment)
+        except (TypeError, ValueError):
+            return  # a malformed fragment must never fail the request
+        window = time.perf_counter() - dispatch_span.started
+        slack = max(0.0, window - imported.duration_seconds)
+        imported.shift(dispatch_span.started + slack / 2.0
+                       - imported.started)
+        imported.parent_id = dispatch_span.span_id
+        dispatch_span.children.append(imported)
 
     def _least_loaded(self) -> Optional[WorkerHandle]:
         live = [h for h in self._handles if h.alive]
@@ -482,23 +712,35 @@ class ServerFrontend:
     # -- observability -------------------------------------------------------------
 
     def metrics_text(self) -> str:
-        """The ``repro_server_*`` exposition plus the engine's own
-        ``repro_*`` families (inline database, or worker 0)."""
-        parts = [self.registry.render_prometheus()]
-        try:
-            if self._handles:
-                handle = self._least_loaded()
-                if handle is not None:
+        """The fleet exposition: the frontend's ``repro_server_*``
+        families merged with *every* live worker's engine exposition
+        (counters/histograms summed, gauges per-``worker`` labelled)
+        into one valid Prometheus text — never a concatenation with
+        duplicate ``# HELP``/``# TYPE`` families."""
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self.registry.render_prometheus())
+        if self._handles:
+            for handle in self._handles:
+                if not handle.alive:
+                    continue
+                try:
                     response = handle.call({"verb": "metrics"},
                                            timeout=10.0)
-                    if response.get("ok"):
-                        parts.append(response["text"])
-            elif self.database is not None:
-                parts.append(self.database.metrics_text())
-        except Exception:
-            pass  # engine exposition is best-effort during shutdown
-        return "\n".join(part.rstrip("\n") for part in parts if part) \
-            + "\n"
+                except Exception:
+                    continue  # scrape is best-effort during shutdown
+                if response.get("ok"):
+                    try:
+                        aggregator.ingest(response["text"],
+                                          worker=str(handle.index))
+                    except ValueError:
+                        continue
+        elif self.database is not None:
+            try:
+                aggregator.ingest(self.database.metrics_text(),
+                                  worker="inline")
+            except Exception:
+                pass
+        return aggregator.render()
 
     def report(self) -> dict:
         """Live serving state for tests/benchmarks and ``/stats``."""
@@ -516,4 +758,65 @@ class ServerFrontend:
             "open_connections": len(self._connections),
             "requests_served": [h.requests_served
                                 for h in self._handles],
+            "worker_rtt_last_seconds": [h.last_rtt_seconds
+                                        for h in self._handles],
+            "inflight_by_worker": self._inflight_by_worker(),
+            "queue_wait": {"count": self.queue_wait.count(),
+                           "sum_seconds": self.queue_wait.sum()},
+            "admission_timeouts": self.timeouts_total.value(
+                stage="admission"),
+            "tracing": self.tracer.report(),
+        }
+
+    # -- debug surface -------------------------------------------------------------
+
+    def traces(self, limit: Optional[int] = None) -> list[dict]:
+        """Stitched traces, newest first (``/debug/traces``)."""
+        exported = [span.to_dict()
+                    for span in reversed(self.tracer.finished_traces())]
+        return exported if limit is None else exported[:limit]
+
+    def chrome_trace(self, trace_id) -> Optional[dict]:
+        """One stitched trace as Chrome trace-event JSON, or ``None``
+        when the id is unknown (fell out of the ring buffer, or was
+        never sampled)."""
+        span = self.tracer.find_trace(trace_id)
+        return None if span is None else to_chrome_trace(span)
+
+    def _collect_journal(self, action: str, limit: int) -> list[dict]:
+        """Merge every worker's slowlog/error journal, newest first,
+        each entry labelled with the worker that recorded it."""
+        entries: list[dict] = []
+        if self._handles:
+            sources = [(str(handle.index), handle)
+                       for handle in self._handles if handle.alive]
+            for label, handle in sources:
+                try:
+                    response = handle.call(
+                        {"verb": "admin", "action": action,
+                         "limit": limit}, timeout=10.0)
+                except Exception:
+                    continue
+                if response.get("ok"):
+                    for entry in response.get("entries", []):
+                        entries.append(dict(entry, worker=label))
+        elif self.database is not None:
+            try:
+                response = self.database.execute_request(
+                    {"verb": "admin", "action": action,
+                     "limit": limit})
+            except Exception:
+                response = {}
+            for entry in response.get("entries", []):
+                entries.append(dict(entry, worker="inline"))
+        entries.sort(key=lambda e: e.get("recorded_at", 0.0),
+                     reverse=True)
+        return entries[:limit]
+
+    def debug_report(self) -> dict:
+        """The ``/varz`` payload: serving state + metric snapshot."""
+        return {
+            "ok": True,
+            "report": self.report(),
+            "metrics": self.registry.snapshot(),
         }

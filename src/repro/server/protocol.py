@@ -62,7 +62,7 @@ __all__ = ["MAGIC", "MAX_FRAME_BYTES", "FRAME_HEADER",
            "pack_frame", "send_frame", "read_frame", "recv_exact",
            "error_payload", "error_code", "raise_for_response",
            "HTTP_METHODS", "http_status_for", "read_http_request",
-           "http_response"]
+           "http_response", "TRACE_HEADER"]
 
 #: The binary client hello: sent once right after connect; also how the
 #: acceptor distinguishes binary clients from HTTP ones (eight bytes,
@@ -79,6 +79,12 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: Four-byte request-line prefixes that mark a connection as HTTP.
 HTTP_METHODS = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI",
                 b"PATC")
+
+#: HTTP header carrying the client-minted trace id (the HTTP analogue
+#: of the binary frames' ``trace`` field); the server echoes it on
+#: every JSON response so callers can join answers to
+#: ``/debug/traces/<id>`` without parsing the body.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 
 # -- binary framing ---------------------------------------------------------------
@@ -269,21 +275,29 @@ def read_http_request(sock: socket.socket, initial: bytes = b"",
 
 
 def http_response(status: int, reason: str, body: bytes,
-                  content_type: str = "application/json") -> bytes:
+                  content_type: str = "application/json",
+                  extra_headers: Optional[dict] = None) -> bytes:
     """One complete ``Connection: close`` HTTP/1.1 response."""
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n")
+            f"Content-Length: {len(body)}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("latin-1") + body
 
 
 def http_json_response(response: dict) -> bytes:
-    """An engine response dict rendered as an HTTP JSON response."""
+    """An engine response dict rendered as an HTTP JSON response (the
+    ``trace_id``, when present, is echoed in ``TRACE_HEADER`` too)."""
     status, reason = http_status_for(response)
     body = json.dumps(response, indent=2,
                       default=str).encode("utf-8") + b"\n"
-    return http_response(status, reason, body)
+    extra = None
+    trace_id = response.get("trace_id")
+    if isinstance(trace_id, str) and trace_id:
+        extra = {TRACE_HEADER: trace_id}
+    return http_response(status, reason, body, extra_headers=extra)
 
 
 def parse_json_body(body: bytes) -> dict:

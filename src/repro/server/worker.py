@@ -30,8 +30,14 @@ Two verbs are intercepted before the engine:
 :class:`WorkerHandle` is the parent-side proxy: it serializes calls on
 an internal lock (one in-flight request per worker — the frontend's
 least-loaded dispatch provides cross-worker parallelism), tracks the
-in-flight count that dispatch reads, and converts pipe breakage into
-typed ``INTERNAL`` error payloads.
+in-flight count that dispatch reads plus each call's round-trip time,
+and converts pipe breakage into typed ``INTERNAL`` error payloads.
+
+Trace propagation costs this module nothing: the request dict is
+forwarded whole, so the frontend's ``trace`` context reaches
+``Database.execute_request`` (which adopts it), and the worker's
+finished span fragment rides back piggybacked in the response's
+``spans`` field for the frontend to stitch.
 """
 
 from __future__ import annotations
@@ -123,6 +129,8 @@ class WorkerHandle:
         self.lock = threading.Lock()
         self.inflight = 0       # read lock-free by least-loaded dispatch
         self.requests_served = 0
+        self.last_rtt_seconds: Optional[float] = None
+        self.last_response_at: Optional[float] = None
         self._wid = 0
         self._stale: set[int] = set()
 
@@ -141,6 +149,7 @@ class WorkerHandle:
         is drained, not misdelivered.
         """
         self.inflight += 1
+        call_started = time.perf_counter()
         try:
             with self.lock:
                 self._wid += 1
@@ -174,6 +183,9 @@ class WorkerHandle:
                     got = message.get("wid")
                     if got == wid:
                         self.requests_served += 1
+                        self.last_rtt_seconds = (time.perf_counter()
+                                                 - call_started)
+                        self.last_response_at = time.time()
                         return message.get("response") or error_payload(
                             RuntimeError("empty worker response"))
                     if got in self._stale:

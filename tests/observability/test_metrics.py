@@ -11,7 +11,9 @@ from repro.observability.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsAggregator,
     MetricsRegistry,
+    parse_exposition,
 )
 
 # -- a minimal exposition-format validator --------------------------------------
@@ -29,21 +31,37 @@ TYPE_LINE = re.compile(
 
 def assert_valid_exposition(text: str) -> None:
     """Every line is a valid HELP/TYPE/sample line; TYPE precedes the
-    samples of its metric; the text ends with a newline."""
+    samples of its metric; each family is typed exactly once; no
+    series (name + label set) appears twice; the text ends with a
+    newline.
+
+    The one-TYPE/one-series rules are what a real Prometheus scraper
+    enforces — naively concatenating two processes' expositions
+    violates both, which is the PR 9 regression this validator guards
+    (see ``TestMetricsAggregator.test_naive_concat_is_invalid``).
+    """
     assert text.endswith("\n")
     typed: set[str] = set()
+    seen_series: set[str] = set()
     for line in text.splitlines():
         if line.startswith("# HELP"):
             assert HELP_LINE.match(line), line
         elif line.startswith("# TYPE"):
             assert TYPE_LINE.match(line), line
-            typed.add(line.split()[2])
+            family = line.split()[2]
+            assert family not in typed, \
+                f"duplicate # TYPE for family {family}"
+            typed.add(family)
         else:
             assert SAMPLE_LINE.match(line), line
             name = re.match(METRIC_NAME, line).group(0)
             base = re.sub(r"_(bucket|sum|count)$", "", name)
             assert name in typed or base in typed, \
                 f"sample {name} before its TYPE"
+            series = line.rsplit(" ", 1)[0]
+            assert series not in seen_series, \
+                f"duplicate series {series}"
+            seen_series.add(series)
 
 
 class TestCounter:
@@ -247,3 +265,112 @@ class TestPrometheusExposition:
             .observe(0.5)
         registry.register_pull("d_total", "counter", "help", lambda: 7)
         assert_valid_exposition(registry.render_prometheus())
+
+
+class TestParseExposition:
+    def test_round_trip_of_a_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", "Queries.",
+                         labelnames=("verb",)).inc(3, verb="query")
+        registry.gauge("depth", "Queue depth.").set(2)
+        families = parse_exposition(registry.render_prometheus())
+        assert families["q_total"]["kind"] == "counter"
+        assert families["q_total"]["help"] == "Queries."
+        assert (("q_total", (("verb", "query"),), 3.0)
+                in families["q_total"]["samples"])
+        assert families["depth"]["kind"] == "gauge"
+
+    def test_histogram_samples_group_under_base_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "help",
+                           buckets=(0.1,)).observe(0.05)
+        families = parse_exposition(registry.render_prometheus())
+        assert set(families) == {"lat_seconds"}
+        names = {name for name, _, _
+                 in families["lat_seconds"]["samples"]}
+        assert names == {"lat_seconds_bucket", "lat_seconds_sum",
+                         "lat_seconds_count"}
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not { an exposition\n")
+
+
+class TestMetricsAggregator:
+    @staticmethod
+    def _worker_text(queries: int) -> str:
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", "Queries.",
+                         labelnames=("strategy",)) \
+            .inc(queries, strategy="twig")
+        registry.gauge("repro_documents_loaded",
+                       "Documents loaded.").set(1)
+        registry.histogram("repro_query_latency_seconds", "Latency.",
+                           buckets=(0.01, 0.1)) \
+            .observe(0.005)
+        return registry.render_prometheus()
+
+    def test_counters_sum_fleet_wide(self):
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self._worker_text(3), worker="0")
+        aggregator.ingest(self._worker_text(4), worker="1")
+        merged = aggregator.render()
+        assert ('repro_queries_total{strategy="twig"} 7' in merged)
+
+    def test_gauges_get_worker_label(self):
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self._worker_text(1), worker="0")
+        aggregator.ingest(self._worker_text(1), worker="1")
+        merged = aggregator.render()
+        assert 'repro_documents_loaded{worker="0"} 1' in merged
+        assert 'repro_documents_loaded{worker="1"} 1' in merged
+        # Never nonsensically summed into "2 documents".
+        assert "repro_documents_loaded 2" not in merged
+
+    def test_histogram_buckets_sum_and_stay_cumulative(self):
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self._worker_text(1), worker="0")
+        aggregator.ingest(self._worker_text(1), worker="1")
+        merged = aggregator.render()
+        assert ('repro_query_latency_seconds_bucket{le="0.01"} 2'
+                in merged)
+        assert ('repro_query_latency_seconds_bucket{le="+Inf"} 2'
+                in merged)
+        assert "repro_query_latency_seconds_count 2" in merged
+
+    def test_merged_exposition_is_valid(self):
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self._worker_text(3), worker="0")
+        aggregator.ingest(self._worker_text(4), worker="1")
+        assert_valid_exposition(aggregator.render())
+
+    def test_naive_concat_is_invalid(self):
+        """The PR 9 regression: concatenating two workers' expositions
+        (what ``ServerFrontend.metrics_text`` used to do) produces
+        duplicate ``# TYPE`` families and duplicate series — invalid
+        scrape input.  The merge path is the only correct one."""
+        concatenated = self._worker_text(3) + self._worker_text(4)
+        with pytest.raises(AssertionError):
+            assert_valid_exposition(concatenated)
+
+    def test_help_and_type_render_once(self):
+        aggregator = MetricsAggregator()
+        aggregator.ingest(self._worker_text(1), worker="0")
+        aggregator.ingest(self._worker_text(1), worker="1")
+        merged = aggregator.render()
+        assert merged.count("# TYPE repro_queries_total counter") == 1
+        assert merged.count("# HELP repro_queries_total") == 1
+
+    def test_unlabelled_source_merges_as_is(self):
+        """The frontend's own registry is ingested without a worker
+        label: its gauges keep their shape."""
+        registry = MetricsRegistry()
+        registry.gauge("repro_server_workers", "Live workers.").set(4)
+        aggregator = MetricsAggregator()
+        aggregator.ingest(registry.render_prometheus())
+        assert "repro_server_workers 4" in aggregator.render()
+
+    def test_unparseable_scrape_raises(self):
+        aggregator = MetricsAggregator()
+        with pytest.raises(ValueError):
+            aggregator.ingest("garbage { line\n", worker="0")
