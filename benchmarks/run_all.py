@@ -70,10 +70,10 @@ def main() -> None:
     database.load(text, uri="stream.xml")
     e9.test_e9_report(_NullBenchmark(), text, database)
 
-    # E10-E17 follow the run(quick)/test_eN_report() shape (no
+    # E10-E18 follow the run(quick)/test_eN_report() shape (no
     # benchmark fixture): serving-layer caches, concurrency, durability,
     # observability overhead, columnar execution, MVCC snapshot reads,
-    # network serving, distributed tracing overhead.
+    # network serving, distributed tracing overhead, replication.
     from benchmarks import (
         bench_e10_query_cache,
         bench_e11_concurrency,
@@ -83,6 +83,7 @@ def main() -> None:
         bench_e15_mvcc,
         bench_e16_server,
         bench_e17_distributed_obs,
+        bench_e18_replication,
     )
 
     for label, module in (("E10", bench_e10_query_cache),
@@ -92,7 +93,8 @@ def main() -> None:
                           ("E14", bench_e14_columnar),
                           ("E15", bench_e15_mvcc),
                           ("E16", bench_e16_server),
-                          ("E17", bench_e17_distributed_obs)):
+                          ("E17", bench_e17_distributed_obs),
+                          ("E18", bench_e18_replication)):
         print(f"\n{'#' * 70}\n# {label}\n{'#' * 70}")
         module.run(quick=False)
 

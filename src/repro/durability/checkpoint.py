@@ -17,6 +17,16 @@ Checkpoints run under the database's exclusive writer lock — either
 explicitly via ``db.checkpoint()`` or automatically every
 ``checkpoint_every`` logged operations (the policy lives in
 :class:`repro.durability.manager.DurabilityManager`).
+
+**Retention pins.**  A replication cursor (a replica tailing
+``wal-<gen>.log`` — see :mod:`repro.replication`) must never have its
+generation pruned out from under it mid-tail.  A pin is one small file
+``retain-<replica_id>.pin`` whose content is the pinned generation
+number; :func:`prune_generations` keeps every generation at or above
+the smallest live pin.  Pins expire after ``pin_ttl_seconds`` (a dead
+replica must not hold WAL files hostage forever) — the publisher
+refreshes the file's mtime on every shipped batch, so only an
+abandoned cursor ages out.
 """
 
 from __future__ import annotations
@@ -25,15 +35,25 @@ import os
 import re
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.durability.snapshot import write_snapshot
 from repro.durability.wal import WriteAheadLog
 
 __all__ = ["snapshot_path", "wal_path", "list_generations",
-           "write_checkpoint", "fsync_directory"]
+           "write_checkpoint", "fsync_directory",
+           "retention_pin_path", "write_retention_pin",
+           "clear_retention_pin", "read_retention_pins",
+           "DEFAULT_PIN_TTL_SECONDS"]
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.snap$")
 _WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+_PIN_RE = re.compile(r"^retain-([A-Za-z0-9._-]+)\.pin$")
+
+#: Pins older than this (by mtime) are treated as abandoned cursors and
+#: removed during pruning; the publisher touches the pin on every WAL
+#: batch it ships, so any live replica stays far inside the window.
+DEFAULT_PIN_TTL_SECONDS = 3600.0
 
 
 def snapshot_path(directory: Path, generation: int) -> Path:
@@ -58,6 +78,73 @@ def list_generations(directory: Path) -> dict[str, list[int]]:
             if match:
                 wals.append(int(match.group(1)))
     return {"snapshots": sorted(snapshots), "wals": sorted(wals)}
+
+
+def retention_pin_path(directory: Path, replica_id: str) -> Path:
+    if not _PIN_RE.match(f"retain-{replica_id}.pin"):
+        raise ValueError(
+            f"replica id {replica_id!r} must contain only letters, "
+            f"digits, dots, underscores and dashes")
+    return Path(directory) / f"retain-{replica_id}.pin"
+
+
+def write_retention_pin(directory: Path, replica_id: str,
+                        generation: int) -> Path:
+    """Pin ``generation`` (and everything newer) for one replica.
+
+    Atomic publish (tmp + rename) so a concurrent prune never reads a
+    half-written pin; re-writing an existing pin advances the cursor
+    and refreshes the TTL clock.
+    """
+    path = retention_pin_path(directory, replica_id)
+    temp = path.with_suffix(".pin.tmp")
+    temp.write_text(f"{int(generation)}\n")
+    os.replace(temp, path)
+    return path
+
+
+def clear_retention_pin(directory: Path, replica_id: str) -> bool:
+    """Drop one replica's pin (detach); True if it existed."""
+    path = retention_pin_path(directory, replica_id)
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def read_retention_pins(directory: Path,
+                        ttl_seconds: Optional[float] = None,
+                        prune_expired: bool = False) -> dict[str, int]:
+    """Live retention pins: ``{replica_id: pinned_generation}``.
+
+    Pins whose mtime is older than ``ttl_seconds`` are skipped (and
+    unlinked when ``prune_expired``); unparsable pin files are treated
+    as absent rather than blocking pruning forever.
+    """
+    directory = Path(directory)
+    pins: dict[str, int] = {}
+    if not directory.exists():
+        return pins
+    now = time.time()
+    for entry in list(directory.iterdir()):
+        match = _PIN_RE.match(entry.name)
+        if match is None:
+            continue
+        try:
+            stat = entry.stat()
+            generation = int(entry.read_text().strip())
+        except (OSError, ValueError):
+            continue
+        if ttl_seconds is not None and now - stat.st_mtime > ttl_seconds:
+            if prune_expired:
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+            continue
+        pins[match.group(1)] = generation
+    return pins
 
 
 def fsync_directory(directory: Path) -> None:
@@ -103,8 +190,10 @@ def write_checkpoint(manager, database) -> dict:
     manager.ops_since_checkpoint = 0
     manager.checkpoints_written += 1
 
-    pruned = prune_generations(directory, generation,
-                               keep=manager.keep_generations)
+    pruned = prune_generations(
+        directory, generation, keep=manager.keep_generations,
+        pin_ttl_seconds=getattr(manager, "retention_pin_ttl_seconds",
+                                DEFAULT_PIN_TTL_SECONDS))
     report.update({
         "generation": generation,
         "elapsed_seconds": time.perf_counter() - started,
@@ -118,10 +207,23 @@ def write_checkpoint(manager, database) -> dict:
     return report
 
 
-def prune_generations(directory: Path, newest: int, keep: int = 2) -> int:
+def prune_generations(directory: Path, newest: int, keep: int = 2,
+                      pin_ttl_seconds: Optional[float] =
+                      DEFAULT_PIN_TTL_SECONDS) -> int:
     """Delete snapshot/WAL files older than the ``keep`` most recent
-    generations (and any leftover temp files).  Returns files removed."""
+    generations (and any leftover temp files).  Returns files removed.
+
+    Generations at or above the smallest live retention pin survive
+    regardless of ``keep``: a replica tailing ``wal-<gen>.log`` pinned
+    that generation, and deleting it mid-tail would force a full
+    re-bootstrap (or worse, silently lose the records between the
+    replica's cursor and the next snapshot).
+    """
     cutoff = newest - keep + 1
+    pins = read_retention_pins(directory, ttl_seconds=pin_ttl_seconds,
+                               prune_expired=True)
+    if pins:
+        cutoff = min(cutoff, min(pins.values()))
     removed = 0
     for entry in list(directory.iterdir()):
         match = _SNAPSHOT_RE.match(entry.name) or _WAL_RE.match(entry.name)

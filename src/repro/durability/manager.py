@@ -20,10 +20,14 @@ log explains.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import BinaryIO, Callable, Optional
 
-from repro.durability.checkpoint import write_checkpoint
+from repro.durability.checkpoint import (
+    DEFAULT_PIN_TTL_SECONDS,
+    write_checkpoint,
+)
 from repro.durability.recovery import recover
 
 __all__ = ["DurabilityManager"]
@@ -88,6 +92,9 @@ class DurabilityManager:
         self.bytes_logged = 0  # cumulative across WAL rotations
         self.last_recovery: Optional[dict] = None
         self.last_checkpoint: Optional[dict] = None
+        # Replication-cursor pins older than this are abandoned and
+        # ignored by checkpoint pruning (see durability/checkpoint.py).
+        self.retention_pin_ttl_seconds = DEFAULT_PIN_TTL_SECONDS
         # Optional: set by the owning Database so WAL appends and
         # checkpoints show up as spans in its trace buffer.
         self.tracer = None
@@ -121,6 +128,10 @@ class DurabilityManager:
         the write-ahead invariant."""
         if self.replaying or self.wal is None:
             return
+        # Stamp the append wall-clock: replicas tailing this WAL derive
+        # their staleness bound from it (replay ignores unknown keys).
+        if "ts" not in record:
+            record = dict(record, ts=time.time())
         if self.tracer is not None:
             with self.tracer.span("wal.append",
                                   op=record.get("op")) as span:

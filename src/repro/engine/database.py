@@ -517,6 +517,41 @@ class Database:
         self._publish(documents, state["default_uri"],
                       state["load_epoch"])
 
+    def install_snapshot_state(self, state: dict) -> None:
+        """Install a decoded snapshot as the new current state without
+        reopening the database (one atomic snapshot publish).
+
+        This is the replication bootstrap/catch-up path: a replica
+        fetches the primary's newest checkpoint over the wire, decodes
+        it with :func:`repro.durability.snapshot.read_snapshot`, and
+        installs it here — live queries pinned on the old snapshot
+        finish against it; everything after sees the shipped state.
+        Deliberately allowed on read-only databases (replicas *are*
+        read-only; the shipped state originates from the primary's own
+        WAL-explained checkpoints, not from a local mutation).
+        """
+        with self.rwlock.write_locked():
+            self._restore_from_snapshot(state)
+
+    def version_vector(self) -> dict:
+        """The current snapshot's observable version vector:
+        per-document update generations plus the load epoch.
+
+        Generations advance deterministically with each applied
+        operation, so a replica that replayed the same WAL prefix as
+        the primary reports an identical vector — the replication
+        harness quiesces on equality here before demanding item-level
+        parity (version ids are *not* included: they are local
+        counters, not part of the logical state).
+        """
+        snapshot = self._snapshot
+        return {
+            "load_epoch": snapshot.load_epoch,
+            "generations": {uri: document.generation
+                            for uri, document
+                            in sorted(snapshot.documents.items())},
+        }
+
     def _replay_record(self, record: dict) -> None:
         """Re-apply one logged operation during recovery (the manager's
         ``replaying`` flag suppresses re-logging and checkpoints)."""

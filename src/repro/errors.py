@@ -131,6 +131,23 @@ class ServerDrainingError(ServerError):
     code = "DRAINING"
 
 
+class ReplicaStaleError(ServerError):
+    """A read routed to a replica could not be served within the
+    request's staleness bound (``max_staleness_seconds``) or before the
+    requested LSN (``min_lsn``, the read-your-writes token) — the
+    replica is lagging, still bootstrapping, or shut down.  The request
+    was *not* executed; retrying against the primary (or another
+    replica) is always safe, and the router does so transparently."""
+
+    code = "REPLICA_STALE"
+
+    def __init__(self, message: str, applied_lsn=None,
+                 staleness_seconds: float | None = None):
+        super().__init__(message)
+        self.applied_lsn = applied_lsn
+        self.staleness_seconds = staleness_seconds
+
+
 class RemoteQueryError(ServerError):
     """A query shipped to the server failed remotely.  ``remote_type``
     carries the server-side exception class name (``QuerySyntaxError``,

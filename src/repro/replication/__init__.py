@@ -1,0 +1,60 @@
+"""WAL-shipping replication: read replicas with stale-bounded reads.
+
+The durability layer's checksummed WAL + atomic checkpoints (PR 3)
+double as a replication log; this package adds the three roles around
+it:
+
+* :class:`~repro.replication.primary.ReplicationPublisher` — serves
+  the ``repl`` protocol verb on the primary: snapshot fetch, WAL tail
+  batches from an LSN cursor, replica registration with retention
+  pinning (a tailed WAL segment is never pruned mid-tail).
+* :class:`~repro.replication.replica.Replica` /
+  :class:`~repro.replication.replica.ReplicaDatabase` — bootstrap from
+  the newest checkpoint, then tail + replay WAL records into an
+  in-memory read-only MVCC database, exposing a monotonic
+  ``applied_lsn`` and a staleness upper bound; queries carrying
+  ``max_staleness_seconds`` / ``min_lsn`` are rejected with the typed
+  retryable ``REPLICA_STALE`` when the bound cannot be honored.
+* :class:`~repro.replication.router.ReplicaRouter` — frontend-side
+  dispatch of stale-bounded reads across healthy replicas, with
+  transparent failover back to the primary when a replica is lagging,
+  dead, or mid-bootstrap.
+
+See README "Replication & stale-bounded reads" for the topology and
+semantics, and ``tests/replication/`` for the chaos/differential
+harness that exercises all of it under kills, torn tails, and
+duplicated ship batches.
+"""
+
+from repro.replication.log import (
+    LSN_START,
+    WAL_FLOOR,
+    format_lsn,
+    lsn_from_wire,
+    lsn_to_wire,
+    read_wal_batch,
+)
+from repro.replication.primary import ReplicationPublisher
+from repro.replication.replica import (
+    LocalSource,
+    Replica,
+    ReplicaDatabase,
+    RemoteSource,
+)
+from repro.replication.router import ReplicaEndpoint, ReplicaRouter
+
+__all__ = [
+    "LSN_START",
+    "WAL_FLOOR",
+    "format_lsn",
+    "lsn_from_wire",
+    "lsn_to_wire",
+    "read_wal_batch",
+    "ReplicationPublisher",
+    "LocalSource",
+    "RemoteSource",
+    "Replica",
+    "ReplicaDatabase",
+    "ReplicaEndpoint",
+    "ReplicaRouter",
+]

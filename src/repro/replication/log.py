@@ -1,0 +1,161 @@
+"""LSNs and WAL tailing — the replication log view over durability.
+
+The primary's durability directory *is* the replication log: the
+checksummed WAL files (``wal-<gen>.log``, :mod:`repro.durability.wal`)
+hold every logical update in apply order, and the atomic checkpoint
+snapshots (``snapshot-<gen>.snap``) are bootstrap images.  Nothing new
+is written for replication — replicas read the same bytes recovery
+would.
+
+**LSN.**  A log sequence number is the pair ``(generation,
+byte_offset)``: the WAL generation and the end offset of the last
+applied frame inside it (the 8-byte ``RXWAL001`` magic is offset 0's
+floor, so a fresh generation starts at ``(gen, 8)``).  Tuples compare
+lexicographically, which is exactly log order: checkpoints rotate to a
+new generation whose WAL starts empty, so every record in generation
+``g+1`` follows every record in ``g``.  On the wire an LSN travels as a
+two-element list (``pack_obj`` has no tuple/list distinction the other
+side can rely on).
+
+**Tailing.**  :func:`read_wal_batch` parses frames *from a byte
+offset* — cursors only ever sit on frame boundaries, so no rescan of
+the prefix is needed — and stops at the first torn or corrupt frame
+exactly like recovery's lenient reader.  A torn tail on the primary is
+simply "not shipped yet": the writer either completes the frame (the
+next poll returns it) or truncates it on restart (the bytes never had
+an acknowledged write).  When a generation is exhausted and a newer WAL
+exists on disk, the batch reports the rotation and the cursor jumps to
+the next generation's floor; the snapshot that rotation wrote contains
+precisely the state the old WAL explained, so a tailing replica keeps
+its in-memory state and just follows the cursor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.durability.checkpoint import list_generations, wal_path
+from repro.durability.format import crc32, unpack_obj
+from repro.durability.wal import FRAME_HEADER, WAL_MAGIC
+
+__all__ = ["LSN_START", "WAL_FLOOR", "lsn_from_wire", "lsn_to_wire",
+           "format_lsn", "read_wal_batch"]
+
+#: Byte offset of the first frame in any WAL file (the magic's length).
+WAL_FLOOR = len(WAL_MAGIC)
+
+#: The cursor before anything was ever logged: generation 0's floor.
+LSN_START = (0, WAL_FLOOR)
+
+
+def lsn_from_wire(value) -> tuple[int, int]:
+    """A wire LSN (two-element list/tuple) as a comparable tuple."""
+    if (not isinstance(value, (list, tuple)) or len(value) != 2
+            or not all(isinstance(part, int) for part in value)):
+        raise ValueError(f"not a wire LSN: {value!r}")
+    generation, offset = value
+    return int(generation), max(int(offset), WAL_FLOOR)
+
+
+def lsn_to_wire(lsn: tuple[int, int]) -> list[int]:
+    return [int(lsn[0]), int(lsn[1])]
+
+
+def format_lsn(lsn: Optional[tuple[int, int]]) -> str:
+    if lsn is None:
+        return "-"
+    return f"{lsn[0]}:{lsn[1]}"
+
+
+def _parse_frames(data: bytes, offset: int,
+                  max_records: int, max_bytes: int
+                  ) -> tuple[list[dict], list[int]]:
+    """Frames from ``offset`` (a frame boundary): ``(records,
+    end_offsets)``.  Stops at a torn/corrupt frame, at ``max_records``
+    records, or once ``max_bytes`` of payload have been collected."""
+    records: list[dict] = []
+    ends: list[int] = []
+    size = len(data)
+    collected = 0
+    while offset < size and len(records) < max_records \
+            and collected < max_bytes:
+        if offset + FRAME_HEADER.size > size:
+            break  # torn header — not shipped yet
+        length, expected_crc = FRAME_HEADER.unpack_from(data, offset)
+        start = offset + FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn payload
+        payload = data[start:end]
+        if crc32(payload) != expected_crc:
+            break
+        try:
+            record = unpack_obj(payload)
+        except Exception:
+            break
+        records.append(record)
+        ends.append(end)
+        collected += length
+        offset = end
+    return records, ends
+
+
+def read_wal_batch(directory, lsn: tuple[int, int],
+                   max_records: int = 512,
+                   max_bytes: int = 4 * 1024 * 1024) -> dict:
+    """One ship batch from the cursor ``lsn``.
+
+    Returns a dict with:
+
+    ``records`` / ``offsets``
+        The decoded records after the cursor and each record's end
+        offset (parallel lists; offsets are within ``lsn``'s
+        generation).
+    ``lsn``
+        The cursor after consuming the batch.  When the generation was
+        exhausted *and* a newer WAL exists, this has already jumped to
+        the next generation's floor (``rotated`` is set) — the caller
+        should poll again immediately rather than sleep.
+    ``rotated``
+        The cursor crossed into a newer generation this batch.
+    ``gap``
+        The cursor's WAL no longer exists but *newer* generations do:
+        the segment was pruned out from under the reader (a lost or
+        expired retention pin).  The only safe continuation is a fresh
+        bootstrap.
+
+    A cursor pointing at a not-yet-created generation (the primary has
+    not written anything there) returns an empty batch with the cursor
+    unchanged — that is "caught up", not a gap.
+    """
+    directory = Path(directory)
+    generation, offset = int(lsn[0]), max(int(lsn[1]), WAL_FLOOR)
+    path = wal_path(directory, generation)
+    batch = {"records": [], "offsets": [],
+             "lsn": (generation, offset),
+             "rotated": False, "gap": False}
+    if not path.exists():
+        newer = [g for g in list_generations(directory)["wals"]
+                 if g > generation]
+        if newer:
+            batch["gap"] = True
+        return batch
+    data = path.read_bytes()
+    if len(data) < WAL_FLOOR or data[:WAL_FLOOR] != WAL_MAGIC:
+        # Torn creation (or mid-write of the magic): nothing shipped yet.
+        return batch
+    records, ends = _parse_frames(data, offset, max_records, max_bytes)
+    if records:
+        batch["records"] = records
+        batch["offsets"] = ends
+        batch["lsn"] = (generation, ends[-1])
+        return batch
+    # Nothing new in this generation; if a checkpoint rotated past it,
+    # follow the cursor to the next WAL present on disk.
+    newer = [g for g in list_generations(directory)["wals"]
+             if g > generation]
+    if newer:
+        batch["lsn"] = (min(newer), WAL_FLOOR)
+        batch["rotated"] = True
+    return batch

@@ -1,0 +1,316 @@
+"""The primary side of replication: publish snapshots + WAL batches.
+
+:class:`ReplicationPublisher` wraps a *durable* primary
+:class:`~repro.engine.database.Database` and answers the ``repl``
+protocol verb (see :meth:`handle`):
+
+``register``
+    A replica announces itself (and optionally the address it serves
+    reads on).  Registration writes a retention pin
+    (:func:`repro.durability.checkpoint.write_retention_pin`) at the
+    primary's current generation so checkpoint pruning cannot delete a
+    WAL segment the replica is about to tail.
+``snapshot``
+    The newest checkpoint image as raw bytes plus the LSN it
+    corresponds to — the replica bootstrap path.  A primary that has
+    never checkpointed returns no image; the replica starts empty at
+    ``LSN_START`` and replays the whole log.
+``wal``
+    One ship batch from the replica's cursor
+    (:func:`repro.replication.log.read_wal_batch`), refreshing the
+    replica's retention pin to the cursor's generation — the pin's
+    mtime is its liveness lease, so a replica that stops polling
+    eventually stops pinning (``DEFAULT_PIN_TTL_SECONDS``).
+``status``
+    The primary's LSN and every registered replica's last-reported
+    cursor/lag — the router's health-poll payload.
+``detach``
+    Drop a replica's pin and registration (clean shutdown).
+
+The publisher holds no lock shared with the write path: WAL files are
+append-only (a concurrent reader sees a CRC-delimited prefix), snapshot
+publication is an atomic rename, and pin writes are atomic replaces —
+all reads here are safe against the writer mid-flight.  The publisher's
+own registry dict is guarded by a private mutex because the serving
+frontend calls :meth:`handle` from many connection threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.durability.checkpoint import (
+    clear_retention_pin,
+    list_generations,
+    snapshot_path,
+    write_retention_pin,
+)
+from repro.replication.log import (
+    LSN_START,
+    WAL_FLOOR,
+    lsn_from_wire,
+    lsn_to_wire,
+    read_wal_batch,
+)
+
+__all__ = ["ReplicationPublisher"]
+
+
+class ReplicationPublisher:
+    """Serves the ``repl`` verb for one primary data directory.
+
+    Two construction modes:
+
+    * ``ReplicationPublisher(database)`` — in-process next to the
+      writer (the chaos harness, single-process deployments): positions
+      come straight from the durability manager.
+    * ``ReplicationPublisher(directory=...)`` — file-level, for a
+      serving frontend that shares the data directory with a separate
+      writer process (the PR 8 topology).  Positions are derived from
+      the directory listing; that is sound because the writer publishes
+      every artifact atomically (WAL frames are CRC-delimited appends,
+      snapshots are ``os.replace`` renames, and retention pins written
+      here are read by the writer's own pruning).
+    """
+
+    def __init__(self, database=None, *, directory=None,
+                 max_batch_records: int = 512,
+                 max_batch_bytes: int = 4 * 1024 * 1024):
+        if database is not None:
+            if database.durability is None:
+                raise ExecutionError(
+                    "replication needs a durable primary "
+                    "(Database.open with a directory); an in-memory "
+                    "database has no WAL to ship")
+            self.manager = database.durability
+            self.directory = self.manager.directory
+        elif directory is not None:
+            self.manager = None
+            from pathlib import Path
+            self.directory = Path(directory)
+        else:
+            raise ExecutionError(
+                "ReplicationPublisher needs a durable database or a "
+                "data directory")
+        self.database = database
+        self.max_batch_records = max_batch_records
+        self.max_batch_bytes = max_batch_bytes
+        self._lock = threading.Lock()
+        #: replica_id -> {"lsn", "address", "last_seen", "batches",
+        #:                "records", "bytes"}
+        self.replicas: dict[str, dict] = {}
+        self.batches_shipped = 0
+        self.records_shipped = 0
+        self.bytes_shipped = 0
+        self.snapshots_shipped = 0
+
+    # -- positions ----------------------------------------------------------------
+
+    def generation(self) -> int:
+        """The primary's current WAL generation (manager-authoritative
+        in-process; newest file on disk in directory mode)."""
+        if self.manager is not None:
+            return self.manager.generation
+        listing = list_generations(self.directory)
+        present = listing["wals"] + listing["snapshots"]
+        return max(present) if present else 0
+
+    def primary_lsn(self) -> tuple[int, int]:
+        """The end of the primary's log right now.
+
+        Reads the generation once, then the size of *that* WAL file —
+        if a checkpoint rotates in between, the old file is final and
+        the returned LSN is still a true (just momentarily stale)
+        position.  In-process the writer fsyncs whole frames before
+        acknowledging, so no sub-frame bytes are observable; in
+        directory mode a concurrent append can make the size land
+        mid-frame, which only ever *overstates* the position replicas
+        are chasing — lag reads conservatively, never optimistically.
+        """
+        generation = self.generation()
+        if self.manager is not None:
+            wal = self.manager.wal
+            if wal is not None and wal.path.name.endswith(
+                    f"{generation:08d}.log"):
+                return (generation, max(wal.size_bytes, WAL_FLOOR))
+        from repro.durability.checkpoint import wal_path
+        try:
+            size = wal_path(self.directory, generation).stat().st_size
+        except OSError:
+            size = WAL_FLOOR
+        return (generation, max(size, WAL_FLOOR))
+
+    # -- the repl verb ------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Execute one ``{"verb": "repl", "action": ...}`` request."""
+        action = request.get("action") or "status"
+        if action == "register":
+            return self._register(request)
+        if action == "snapshot":
+            return self._snapshot(request)
+        if action == "wal":
+            return self._wal(request)
+        if action == "status":
+            return self._status()
+        if action == "detach":
+            return self._detach(request)
+        raise ExecutionError(
+            f"unknown repl action {action!r}; expected one of "
+            f"register/snapshot/wal/status/detach")
+
+    def _replica_id(self, request: dict) -> str:
+        replica_id = request.get("replica_id")
+        if not isinstance(replica_id, str) or not replica_id:
+            raise ExecutionError(
+                "repl request needs a non-empty string 'replica_id'")
+        return replica_id
+
+    def _register(self, request: dict) -> dict:
+        replica_id = self._replica_id(request)
+        # Pin *before* reading the position: a checkpoint between the
+        # two can only leave the pin conservatively low, never let the
+        # replica's bootstrap generation be pruned.
+        generation = self.generation()
+        write_retention_pin(self.directory, replica_id,
+                            generation)
+        with self._lock:
+            entry = self.replicas.setdefault(replica_id, {
+                "lsn": None, "address": None, "batches": 0,
+                "records": 0, "bytes": 0})
+            entry["address"] = request.get("address")
+            entry["last_seen"] = time.time()
+        return {"ok": True, "verb": "repl", "action": "register",
+                "replica_id": replica_id,
+                "primary_lsn": lsn_to_wire(self.primary_lsn())}
+
+    def _snapshot(self, request: dict) -> dict:
+        replica_id = request.get("replica_id")
+        directory = self.directory
+        snapshots = list_generations(directory)["snapshots"]
+        response = {"ok": True, "verb": "repl", "action": "snapshot",
+                    "generation": None, "data": None,
+                    "lsn": lsn_to_wire(LSN_START),
+                    "primary_lsn": lsn_to_wire(self.primary_lsn())}
+        data = None
+        generation = None
+        # Newest first; a snapshot being pruned under us (no pin yet,
+        # or a brand-new replica) just falls back to the next one.
+        for candidate in reversed(snapshots):
+            try:
+                data = snapshot_path(directory, candidate).read_bytes()
+            except OSError:
+                continue
+            generation = candidate
+            break
+        if data is not None:
+            response.update(generation=generation, data=data,
+                            lsn=lsn_to_wire((generation, WAL_FLOOR)))
+        if isinstance(replica_id, str) and replica_id:
+            write_retention_pin(directory, replica_id,
+                                generation if generation is not None
+                                else 0)
+            with self._lock:
+                entry = self.replicas.get(replica_id)
+                if entry is not None:
+                    entry["last_seen"] = time.time()
+        with self._lock:
+            self.snapshots_shipped += 1
+            self.bytes_shipped += len(data) if data else 0
+        return response
+
+    def _wal(self, request: dict) -> dict:
+        replica_id = self._replica_id(request)
+        try:
+            cursor = lsn_from_wire(request.get("lsn"))
+        except ValueError as exc:
+            raise ExecutionError(str(exc))
+        max_records = min(int(request.get("max_records")
+                              or self.max_batch_records),
+                          self.max_batch_records)
+        batch = read_wal_batch(self.directory, cursor,
+                               max_records=max_records,
+                               max_bytes=self.max_batch_bytes)
+        next_lsn = batch["lsn"]
+        # Refresh the pin (cursor position + liveness mtime) on every
+        # poll, even empty ones — an idle replica is still tailing.
+        write_retention_pin(self.directory, replica_id,
+                            next_lsn[0])
+        # Records always come from the cursor's own generation (a
+        # rotation batch carries none), so the byte delta is exact.
+        shipped_bytes = (batch["offsets"][-1] - cursor[1]
+                         if batch["records"] else 0)
+        primary = self.primary_lsn()
+        with self._lock:
+            entry = self.replicas.setdefault(replica_id, {
+                "lsn": None, "address": None, "batches": 0,
+                "records": 0, "bytes": 0})
+            entry["lsn"] = next_lsn
+            entry["last_seen"] = time.time()
+            entry["batches"] += 1
+            entry["records"] += len(batch["records"])
+            entry["bytes"] += max(0, shipped_bytes)
+            self.batches_shipped += 1
+            self.records_shipped += len(batch["records"])
+            self.bytes_shipped += max(0, shipped_bytes)
+        return {"ok": True, "verb": "repl", "action": "wal",
+                "records": batch["records"],
+                "offsets": batch["offsets"],
+                # Echo the request cursor: a duplicated/re-delivered
+                # old response then carries a cursor that disagrees
+                # with what the replica just sent, so the replica can
+                # refuse to treat it as evidence of being caught up.
+                "cursor": lsn_to_wire(cursor),
+                "lsn": lsn_to_wire(next_lsn),
+                "rotated": batch["rotated"],
+                "gap": batch["gap"],
+                "primary_lsn": lsn_to_wire(primary),
+                "caught_up": (not batch["records"]
+                              and not batch["rotated"]
+                              and not batch["gap"]
+                              and tuple(next_lsn) >= primary),
+                "ship_ts": time.time()}
+
+    def _status(self) -> dict:
+        primary = self.primary_lsn()
+        with self._lock:
+            replicas = {
+                replica_id: {
+                    "lsn": (lsn_to_wire(entry["lsn"])
+                            if entry["lsn"] else None),
+                    "address": entry.get("address"),
+                    "last_seen": entry.get("last_seen"),
+                    "batches": entry["batches"],
+                    "records": entry["records"],
+                    "bytes": entry["bytes"],
+                }
+                for replica_id, entry in self.replicas.items()}
+        return {"ok": True, "verb": "repl", "action": "status",
+                "role": "primary",
+                "primary_lsn": lsn_to_wire(primary),
+                "generation": self.generation(),
+                "replicas": replicas}
+
+    def _detach(self, request: dict) -> dict:
+        replica_id = self._replica_id(request)
+        existed = clear_retention_pin(self.directory,
+                                      replica_id)
+        with self._lock:
+            self.replicas.pop(replica_id, None)
+        return {"ok": True, "verb": "repl", "action": "detach",
+                "replica_id": replica_id, "existed": existed}
+
+    # -- metrics ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                "batches_shipped": self.batches_shipped,
+                "records_shipped": self.records_shipped,
+                "bytes_shipped": self.bytes_shipped,
+                "snapshots_shipped": self.snapshots_shipped,
+                "replicas": len(self.replicas),
+            }

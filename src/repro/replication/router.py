@@ -1,0 +1,298 @@
+"""Failure-aware routing of stale-bounded reads to replicas.
+
+The :class:`ReplicaRouter` sits inside the serving frontend.  A query
+request is *eligible* for a replica only when the client opted in with
+``max_staleness_seconds > 0`` — an unbounded request (no bound, or a
+bound of zero) always goes to the primary, which is the conservative
+default and the read-your-writes guarantee for clients that never set
+a bound.
+
+Dispatch policy:
+
+* a background health monitor polls each replica's ``repl status``
+  verb; a replica is *healthy* when its last poll succeeded recently
+  and it reported the ``tailing`` state;
+* eligible requests round-robin over healthy replicas whose last
+  reported staleness (aged by the time since the poll) fits the bound;
+* the chosen replica re-checks the bound **authoritatively** at
+  execution time (:meth:`Replica.admit_query`) — the router's view is
+  a hint, the replica's rejection is the guarantee, so a staleness
+  bound can never be violated by a racing health poll;
+* any failure — connection refused/reset mid-query (a killed replica),
+  a typed ``REPLICA_STALE`` rejection, a drain — moves on to the next
+  candidate and finally **falls back to the primary**: the caller gets
+  a correct answer, just not the cheap one.  Dead replicas are marked
+  unhealthy after ``max_failures`` consecutive errors and recover as
+  soon as a health poll succeeds again.
+
+Endpoints are either in-process objects with ``execute_request`` (a
+:class:`~repro.replication.replica.ReplicaDatabase` — the chaos tests)
+or ``(host, port)`` addresses reached through
+:class:`~repro.server.client.ServerClient`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import (
+    RemoteQueryError,
+    ReplicaStaleError,
+    ServerError,
+)
+
+__all__ = ["ReplicaEndpoint", "ReplicaRouter"]
+
+#: Failures that mean "this replica cannot answer right now" — move on
+#: to the next candidate (or the primary).  Query-shaped errors
+#: (syntax, type) are *not* here: those would fail identically on the
+#: primary and must surface to the client.
+_ROUTE_FAILURES = (ReplicaStaleError, ServerError, ConnectionError,
+                   BrokenPipeError, EOFError, OSError)
+
+
+class ReplicaEndpoint:
+    """One routable replica: in-process object or network address."""
+
+    def __init__(self, target, name: Optional[str] = None,
+                 timeout_seconds: float = 30.0):
+        self._database = None
+        self._client = None
+        if hasattr(target, "execute_request"):
+            self._database = target
+            self.name = name or getattr(
+                getattr(target, "replica", None), "replica_id",
+                None) or "replica-inproc"
+        else:
+            host, port = target
+            from repro.server.client import ServerClient
+            self._client = ServerClient(
+                host, int(port), timeout_seconds=timeout_seconds,
+                pool_size=2, retries=0)
+            self.name = name or f"{host}:{port}"
+        self.healthy = False
+        self.consecutive_failures = 0
+        self.last_status: Optional[dict] = None
+        self.last_poll_ts: Optional[float] = None
+        self.last_error: Optional[str] = None
+        self.queries_served = 0
+
+    def request(self, request: dict) -> dict:
+        if self._database is not None:
+            return self._database.execute_request(request)
+        return self._client.request(request)
+
+    def poll_status(self) -> dict:
+        status = self.request({"verb": "repl", "action": "status"})
+        self.last_status = status
+        self.last_poll_ts = time.time()
+        self.consecutive_failures = 0
+        self.last_error = None
+        self.healthy = status.get("state") == "tailing"
+        return status
+
+    def staleness_estimate(self,
+                           now: Optional[float] = None) -> float:
+        """The last reported staleness aged by the poll's own age —
+        conservative: a replica can only have gotten staler since."""
+        if self.last_status is None or self.last_poll_ts is None:
+            return float("inf")
+        reported = self.last_status.get("staleness_seconds")
+        if reported is None:
+            return float("inf")
+        if now is None:
+            now = time.time()
+        return float(reported) + max(0.0, now - self.last_poll_ts)
+
+    def mark_failed(self, error: BaseException,
+                    max_failures: int) -> None:
+        self.consecutive_failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        if self.consecutive_failures >= max_failures:
+            self.healthy = False
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "healthy": self.healthy,
+            "in_process": self._database is not None,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "queries_served": self.queries_served,
+            "staleness_estimate": (
+                None if self.staleness_estimate() == float("inf")
+                else self.staleness_estimate()),
+            "status": self.last_status,
+        }
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+
+
+class ReplicaRouter:
+    """Routes stale-bounded queries across a set of replicas."""
+
+    def __init__(self, health_interval: float = 0.25,
+                 max_failures: int = 2):
+        self.health_interval = health_interval
+        self.max_failures = max_failures
+        self._lock = threading.Lock()
+        self._endpoints: list[ReplicaEndpoint] = []
+        self._rr = 0
+        self.routed_to_replica = 0
+        self.fallbacks_to_primary = 0
+        self.failovers = 0
+        self.stale_rejections = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- membership ---------------------------------------------------------------
+
+    def add_replica(self, target,
+                    name: Optional[str] = None) -> ReplicaEndpoint:
+        endpoint = ReplicaEndpoint(target, name=name)
+        with self._lock:
+            # Re-registration under the same name replaces the old
+            # endpoint (a restarted replica process).
+            self._endpoints = [e for e in self._endpoints
+                               if e.name != endpoint.name]
+            self._endpoints.append(endpoint)
+        try:
+            endpoint.poll_status()
+        except _ROUTE_FAILURES:
+            pass
+        return endpoint
+
+    def remove_replica(self, name: str) -> bool:
+        with self._lock:
+            keep = [e for e in self._endpoints if e.name != name]
+            removed = [e for e in self._endpoints if e.name == name]
+            self._endpoints = keep
+        for endpoint in removed:
+            endpoint.close()
+        return bool(removed)
+
+    def endpoints(self) -> list[ReplicaEndpoint]:
+        with self._lock:
+            return list(self._endpoints)
+
+    # -- health monitor -----------------------------------------------------------
+
+    def check_health_once(self) -> None:
+        for endpoint in self.endpoints():
+            try:
+                endpoint.poll_status()
+            except _ROUTE_FAILURES as exc:
+                endpoint.mark_failed(exc, self.max_failures)
+
+    def start(self) -> None:
+        if self._thread is not None or not self.endpoints():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="replica-router-health",
+            daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.check_health_once()
+            self._stop.wait(self.health_interval)
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        for endpoint in self.endpoints():
+            endpoint.close()
+
+    # -- dispatch -----------------------------------------------------------------
+
+    @staticmethod
+    def eligible(request: dict) -> bool:
+        """Whether this request may be served by a replica at all."""
+        if request.get("verb") != "query":
+            return False
+        bound = request.get("max_staleness_seconds")
+        try:
+            return bound is not None and float(bound) > 0
+        except (TypeError, ValueError):
+            return False
+
+    def maybe_route(self, request: dict) -> Optional[dict]:
+        """Serve ``request`` from a replica, or return ``None`` when
+        the primary should handle it (no opt-in, no fit, all failed).
+
+        Never raises a routing failure: replica trouble degrades to
+        the primary.  Query-shaped errors (bad syntax etc.) are raised
+        — they are the client's answer regardless of where it ran.
+        """
+        if not self.eligible(request):
+            return None
+        bound = float(request["max_staleness_seconds"])
+        now = time.time()
+        candidates = [e for e in self.endpoints()
+                      if e.healthy and e.staleness_estimate(now) <= bound]
+        if not candidates:
+            self.fallbacks_to_primary += 1
+            return None
+        with self._lock:
+            self._rr += 1
+            start = self._rr
+        tried = 0
+        for index in range(len(candidates)):
+            endpoint = candidates[(start + index) % len(candidates)]
+            tried += 1
+            try:
+                response = endpoint.request(request)
+            except RemoteQueryError:
+                # The query itself is bad (syntax/type/translation):
+                # the primary would reject it identically — surface it,
+                # and don't hold it against the replica.
+                raise
+            except ReplicaStaleError as exc:
+                # Authoritative rejection: the replica fell behind
+                # between the health poll and now.
+                self.stale_rejections += 1
+                endpoint.last_error = f"ReplicaStaleError: {exc}"
+                continue
+            except _ROUTE_FAILURES as exc:
+                endpoint.mark_failed(exc, self.max_failures)
+                self.failovers += 1
+                continue
+            endpoint.queries_served += 1
+            self.routed_to_replica += 1
+            return response
+        self.fallbacks_to_primary += 1
+        return None
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> dict:
+        return {
+            "replicas": [e.describe() for e in self.endpoints()],
+            "routed_to_replica": self.routed_to_replica,
+            "fallbacks_to_primary": self.fallbacks_to_primary,
+            "failovers": self.failovers,
+            "stale_rejections": self.stale_rejections,
+        }
+
+    def metrics_expositions(self) -> dict[str, str]:
+        """Each reachable replica's Prometheus exposition text, for
+        the fleet aggregator to merge (unreachable replicas are simply
+        absent — their last gauges age out of the merged view)."""
+        texts: dict[str, str] = {}
+        for endpoint in self.endpoints():
+            try:
+                response = endpoint.request({"verb": "metrics"})
+            except _ROUTE_FAILURES:
+                continue
+            text = response.get("text")
+            if isinstance(text, str):
+                texts[endpoint.name] = text
+        return texts

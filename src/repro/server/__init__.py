@@ -28,6 +28,15 @@ primary can publish data to a running server.
 connection pooling, reconnect-and-retry for idempotent reads, and
 typed error mapping (``BUSY``/``DRAINING``/``TIMEOUT``/... back to the
 :mod:`repro.errors` hierarchy).
+
+Replication rides on the same protocol (:mod:`repro.replication`): a
+primary started with ``publish=True`` serves the ``repl`` verb
+(snapshot fetch, WAL tail batches, replica registration with retention
+pinning), replica servers run an in-memory database fed by that WAL
+(``repro-server --replica-of``), and the frontend's
+:class:`~repro.replication.router.ReplicaRouter` dispatches
+stale-bounded reads (``max_staleness_seconds > 0``) to healthy
+replicas with transparent failover back to the primary.
 """
 
 from repro.server.client import ServerClient

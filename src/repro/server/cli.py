@@ -9,15 +9,37 @@ The directory must already contain at least one checkpoint generation
 ``examples/serve_xmark.py`` which builds one).  Workers open it
 read-only; publish new data by checkpointing from a writer process and
 POSTing an admin ``reload``.
+
+Replication (see README "Replication & stale-bounded reads")::
+
+    # primary: also publish WAL/snapshots over the repl verb
+    repro-server --data-dir xmark.db --port 8471 --publish
+
+    # replica: bootstrap + tail the primary, serve stale-bounded reads
+    repro-server --replica-of 127.0.0.1:8471 --port 8472
+
+A replica needs no ``--data-dir`` — its database is in-memory, fed by
+the primary's WAL.  It registers with the primary carrying its own
+serving address, so the primary's router can dispatch
+``max_staleness_seconds``-bounded reads to it automatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
 __all__ = ["main"]
+
+
+def _host_port(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,9 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-server",
         description="Serve a repro XML database over the network "
                     "(binary protocol + HTTP/JSON on one port).")
-    parser.add_argument("--data-dir", required=True,
+    parser.add_argument("--data-dir", default=None,
                         help="durable database directory (opened "
-                             "read-only by every worker)")
+                             "read-only by every worker); not needed "
+                             "with --replica-of")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8471,
@@ -53,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="per-worker slow-query threshold feeding "
                              "/debug/slowlog (default: engine default)")
+    parser.add_argument("--publish", action="store_true",
+                        help="serve the repl verb over --data-dir "
+                             "(makes this server a replication "
+                             "primary)")
+    parser.add_argument("--replica-of", type=_host_port, default=None,
+                        metavar="HOST:PORT",
+                        help="run as a read replica of the primary at "
+                             "HOST:PORT (in-memory database fed by "
+                             "its WAL; implies --workers 0)")
+    parser.add_argument("--replica-id", default=None,
+                        help="stable replica identity for retention "
+                             "pinning (default: replica-<pid>)")
+    parser.add_argument("--replica", type=_host_port, default=[],
+                        action="append", metavar="HOST:PORT",
+                        help="route stale-bounded reads to the "
+                             "replica at HOST:PORT (repeatable; "
+                             "replicas registering over the wire are "
+                             "added automatically)")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="replica WAL poll interval in seconds "
+                             "(default 0.05)")
     return parser
 
 
@@ -60,18 +104,46 @@ def main(argv: Optional[list] = None) -> int:
     from repro.server.frontend import ServerFrontend
 
     args = build_parser().parse_args(argv)
-    frontend = ServerFrontend(
-        host=args.host, port=args.port, data_dir=args.data_dir,
-        workers=args.workers, max_connections=args.max_connections,
-        max_queue=args.max_queue,
-        default_timeout_seconds=args.timeout,
-        inline_concurrency=args.inline_concurrency,
-        trace_sample=args.trace_sample,
-        slow_query_seconds=args.slow_query_seconds)
+    replica = None
+    if args.replica_of is not None:
+        from repro.replication.replica import Replica, RemoteSource
+        host, port = args.replica_of
+        address = f"{args.host}:{args.port}" if args.port else None
+        replica = Replica(
+            RemoteSource(host, port),
+            replica_id=args.replica_id or f"replica-{os.getpid()}",
+            address=address, poll_interval=args.poll_interval)
+        replica.start()
+        frontend = ServerFrontend(
+            host=args.host, port=args.port, workers=0,
+            replica=replica,
+            max_connections=args.max_connections,
+            max_queue=args.max_queue,
+            default_timeout_seconds=args.timeout,
+            inline_concurrency=args.inline_concurrency,
+            trace_sample=args.trace_sample)
+    else:
+        if args.data_dir is None:
+            print("repro-server: --data-dir is required (unless "
+                  "running with --replica-of)", file=sys.stderr)
+            return 2
+        frontend = ServerFrontend(
+            host=args.host, port=args.port, data_dir=args.data_dir,
+            workers=args.workers,
+            max_connections=args.max_connections,
+            max_queue=args.max_queue,
+            default_timeout_seconds=args.timeout,
+            inline_concurrency=args.inline_concurrency,
+            trace_sample=args.trace_sample,
+            slow_query_seconds=args.slow_query_seconds,
+            publish=args.publish, replicas=args.replica)
     frontend.start()
     host, port = frontend.address
-    print(f"repro-server listening on {host}:{port} "
-          f"({args.workers} worker(s), data dir {args.data_dir!r})",
+    role = ("replica" if replica is not None
+            else "primary" if args.publish else "server")
+    print(f"repro-server [{role}] listening on {host}:{port} "
+          f"({args.workers if replica is None else 0} worker(s), "
+          f"data dir {args.data_dir!r})",
           file=sys.stderr)
     print(f"  curl http://{host}:{port}/metrics", file=sys.stderr)
     print(f"  curl http://{host}:{port}/debug/traces", file=sys.stderr)
@@ -81,6 +153,8 @@ def main(argv: Optional[list] = None) -> int:
         frontend.serve_forever()
     finally:
         frontend.stop()
+        if replica is not None:
+            replica.stop(detach=True)
     return 0
 
 

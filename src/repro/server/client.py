@@ -168,9 +168,24 @@ class ServerClient:
               uri: Optional[str] = None,
               variables: Optional[dict] = None,
               timeout_seconds: Optional[float] = None,
-              output: str = "values") -> dict:
+              output: str = "values",
+              max_staleness_seconds: Optional[float] = None,
+              min_lsn=None) -> dict:
         """Run a query; the response dict carries ``items``,
-        ``strategy``, ``elapsed_seconds``, ``stats``, ``source``."""
+        ``strategy``, ``elapsed_seconds``, ``stats``, ``source``.
+
+        ``max_staleness_seconds > 0`` opts the read into replica
+        serving (the server may route it to any replica within the
+        bound; ``0``/``None`` always reads the primary); ``min_lsn``
+        is the read-your-writes token — a ``[generation, offset]``
+        position (e.g. a prior response's ``applied_lsn``, or the
+        primary's position after a write) the serving replica must
+        have applied.  A replica that cannot honor either bound
+        answers with the typed retryable ``REPLICA_STALE``
+        (:class:`~repro.errors.ReplicaStaleError`); when routing is
+        done server-side the frontend retries/falls back for you.
+        Replica-served responses carry ``served_by``, ``applied_lsn``
+        and ``staleness_seconds``."""
         request = {"verb": "query", "text": text, "strategy": strategy,
                    "output": output}
         if uri is not None:
@@ -179,6 +194,11 @@ class ServerClient:
             request["variables"] = variables
         if timeout_seconds is not None:
             request["timeout_seconds"] = timeout_seconds
+        if max_staleness_seconds is not None:
+            request["max_staleness_seconds"] = float(
+                max_staleness_seconds)
+        if min_lsn is not None:
+            request["min_lsn"] = [int(min_lsn[0]), int(min_lsn[1])]
         return self.request(request)
 
     def query_values(self, text: str, **kwargs) -> list:
@@ -207,6 +227,12 @@ class ServerClient:
 
     def generation(self) -> dict:
         return self.request({"verb": "admin", "action": "generation"})
+
+    def repl_status(self) -> dict:
+        """The server's replication status: primary position +
+        registered replicas on a primary, applied LSN/staleness on a
+        replica."""
+        return self.request({"verb": "repl", "action": "status"})
 
     def reload(self) -> dict:
         """Ask every worker to re-open on the newest checkpoint

@@ -120,6 +120,23 @@ class ServerFrontend:
     db_kwargs:
         Extra :class:`Database` constructor kwargs for worker opens
         (e.g. ``{"result_cache_size": 0}`` for benchmark honesty).
+    publish:
+        Serve the ``repl`` verb (snapshot fetch / WAL tail /
+        registration) over this server's ``data_dir`` — makes this
+        frontend a replication **primary** (see
+        :mod:`repro.replication`).
+    replica:
+        A started :class:`~repro.replication.replica.Replica` this
+        frontend serves reads *for* — makes it a replica server: the
+        inline database is the replica's, and the ``repl`` verb
+        answers its status.  The replica's lifecycle belongs to the
+        caller (the CLI's ``--replica-of`` starts/stops it).
+    replicas:
+        Initial :class:`~repro.replication.router.ReplicaRouter`
+        targets — ``(host, port)`` pairs or in-process databases —
+        that stale-bounded reads (``max_staleness_seconds > 0``) may
+        be routed to.  Replicas registering over the wire with an
+        ``address`` are added dynamically.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -130,7 +147,12 @@ class ServerFrontend:
                  trace_sample: float = 0.01,
                  trace_capacity: int = 256,
                  slow_query_seconds: Optional[float] = None,
-                 db_kwargs: Optional[dict] = None):
+                 db_kwargs: Optional[dict] = None,
+                 publish: bool = False, replica=None,
+                 replicas=None,
+                 router_health_interval: float = 0.25):
+        if replica is not None and database is None:
+            database = replica.database
         if workers > 0 and data_dir is None:
             raise ExecutionError(
                 "worker processes need a data_dir to open read-only")
@@ -153,6 +175,25 @@ class ServerFrontend:
         self.tracer = Tracer(sample_rate=trace_sample,
                              capacity=trace_capacity)
         self._owns_database = False
+
+        # Replication roles (all optional; see the class docstring).
+        self.replica = replica
+        self.publisher = None
+        if publish:
+            from repro.replication.primary import ReplicationPublisher
+            if database is not None and database.durability is not None:
+                self.publisher = ReplicationPublisher(database)
+            elif data_dir is not None:
+                self.publisher = ReplicationPublisher(
+                    directory=data_dir)
+            else:
+                raise ExecutionError(
+                    "publish=True needs a data_dir or a durable "
+                    "database to ship WAL from")
+        self.router = None
+        self._router_health_interval = router_health_interval
+        self._router_lock = threading.Lock()
+        self._initial_replicas = list(replicas or [])
 
         self._handles: list[WorkerHandle] = []
         self._listener: Optional[socket.socket] = None
@@ -231,6 +272,57 @@ class ServerFrontend:
             "Whether the server is draining (0/1).",
             lambda: 1 if self._draining else 0)
 
+        # Replication families (flat zeros until a role is active).
+        for metric_name, attr, help_text in (
+                ("repro_repl_routed_total", "routed_to_replica",
+                 "Stale-bounded reads served by a replica."),
+                ("repro_repl_fallbacks_total", "fallbacks_to_primary",
+                 "Stale-bounded reads that fell back to the primary."),
+                ("repro_repl_failovers_total", "failovers",
+                 "Replica failures failed over during dispatch."),
+                ("repro_repl_stale_rejections_total",
+                 "stale_rejections",
+                 "Authoritative REPLICA_STALE rejections at dispatch.")):
+            registry.register_pull(
+                metric_name, "counter", help_text,
+                (lambda a=attr: getattr(self.router, a, 0)
+                 if self.router is not None else 0))
+        registry.register_pull(
+            "repro_repl_replica_healthy", "gauge",
+            "Routable replica health (1 healthy / 0 not), by replica.",
+            lambda: {e.name: (1 if e.healthy else 0)
+                     for e in (self.router.endpoints()
+                               if self.router is not None else [])},
+            labelnames=("replica",))
+        registry.register_pull(
+            "repro_repl_replica_staleness_seconds", "gauge",
+            "Router's aged staleness estimate per replica (-1 "
+            "unknown).", lambda: {
+                e.name: (-1.0 if est == float("inf") else est)
+                for e in (self.router.endpoints()
+                          if self.router is not None else [])
+                for est in (e.staleness_estimate(),)},
+            labelnames=("replica",))
+        for metric_name, attr, help_text in (
+                ("repro_repl_batches_shipped_total", "batches_shipped",
+                 "WAL ship batches served to replicas."),
+                ("repro_repl_records_shipped_total",
+                 "records_shipped", "WAL records shipped to replicas."),
+                ("repro_repl_bytes_shipped_total", "bytes_shipped",
+                 "Snapshot + WAL bytes shipped to replicas."),
+                ("repro_repl_snapshots_shipped_total",
+                 "snapshots_shipped",
+                 "Bootstrap snapshots served to replicas.")):
+            registry.register_pull(
+                metric_name, "counter", help_text,
+                (lambda a=attr: getattr(self.publisher, a, 0)
+                 if self.publisher is not None else 0))
+        registry.register_pull(
+            "repro_repl_registered_replicas", "gauge",
+            "Replicas registered with this primary's publisher.",
+            lambda: (len(self.publisher.replicas)
+                     if self.publisher is not None else 0))
+
     # -- life cycle ----------------------------------------------------------------
 
     def start(self) -> "ServerFrontend":
@@ -256,8 +348,22 @@ class ServerFrontend:
             target=self._accept_loop, name="repro-server-accept",
             daemon=True)
         self._acceptor.start()
+        for target in self._initial_replicas:
+            self._add_router_target(target)
         self._started = True
         return self
+
+    def _add_router_target(self, target, name=None) -> None:
+        """Make ``target`` routable (creating/starting the router on
+        first use)."""
+        with self._router_lock:
+            if self.router is None:
+                from repro.replication.router import ReplicaRouter
+                self.router = ReplicaRouter(
+                    health_interval=self._router_health_interval)
+            router = self.router
+        router.add_replica(target, name=name)
+        router.start()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -297,6 +403,8 @@ class ServerFrontend:
         self._stopped = True
         self._draining = True
         self._close_listener()
+        if self.router is not None:
+            self.router.stop()
         for handle in self._handles:
             handle.stop()
         self._handles = []
@@ -551,6 +659,12 @@ class ServerFrontend:
 
     def _admit_and_dispatch(self, request: dict,
                             trace_id: str) -> dict:
+        if request.get("verb") == "repl":
+            # Replication control plane: answered before admission (no
+            # query slot consumed) and *before* the draining check — a
+            # draining primary keeps shipping WAL so its replicas can
+            # finish catching up.
+            return self._handle_repl(request)
         if self._draining:
             self.rejections_total.inc(1, reason="draining")
             return protocol.error_payload(ServerDrainingError(
@@ -613,6 +727,31 @@ class ServerFrontend:
                 self._running -= 1
             self._slots.release()
 
+    def _handle_repl(self, request: dict) -> dict:
+        """The ``repl`` verb: publisher on a primary, status on a
+        replica (typed error payload anywhere else)."""
+        try:
+            if self.publisher is not None:
+                response = self.publisher.handle(request)
+                address = request.get("address")
+                if (request.get("action") == "register"
+                        and isinstance(address, str) and ":" in address):
+                    # The replica told us where it serves reads: make
+                    # it routable for stale-bounded queries.
+                    host, _, port = address.rpartition(":")
+                    self._add_router_target(
+                        (host, int(port)),
+                        name=request.get("replica_id"))
+                return response
+            if self.replica is not None:
+                return self.replica.handle(request)
+            raise ExecutionError(
+                "this server has no replication role (primaries need "
+                "publish=True / repro-server --publish; replicas are "
+                "started with --replica-of)")
+        except Exception as exc:
+            return protocol.error_payload(exc)
+
     def _dispatch(self, request: dict, deadline: Optional[float],
                   trace_id: str) -> dict:
         request = dict(request)
@@ -623,6 +762,16 @@ class ServerFrontend:
                 deadline - time.monotonic(), 1e-6)
         wait = (request.get("timeout_seconds")
                 or self.default_timeout_seconds or 30.0)
+        if self.router is not None:
+            # Stale-bounded reads may be served by a replica; any
+            # replica trouble degrades transparently to the primary
+            # path below (only query-shaped errors surface).
+            try:
+                routed = self.router.maybe_route(request)
+            except Exception as exc:
+                return protocol.error_payload(exc)
+            if routed is not None:
+                return routed
         if self._handles:
             if (request.get("verb") == "admin"
                     and request.get("action") == "reload"):
@@ -740,6 +889,14 @@ class ServerFrontend:
                                   worker="inline")
             except Exception:
                 pass
+        if self.router is not None:
+            # Fleet view includes every reachable replica's engine +
+            # repro_repl_* families, labelled per replica.
+            for name, text in self.router.metrics_expositions().items():
+                try:
+                    aggregator.ingest(text, worker=f"replica-{name}")
+                except ValueError:
+                    continue
         return aggregator.render()
 
     def report(self) -> dict:
@@ -766,7 +923,23 @@ class ServerFrontend:
             "admission_timeouts": self.timeouts_total.value(
                 stage="admission"),
             "tracing": self.tracer.report(),
+            "replication": self.replication_report(),
         }
+
+    def replication_report(self) -> Optional[dict]:
+        """This server's replication roles, or ``None`` when it has
+        none (keeps ``/varz`` quiet for plain deployments)."""
+        if (self.publisher is None and self.replica is None
+                and self.router is None):
+            return None
+        report: dict = {}
+        if self.publisher is not None:
+            report["publisher"] = self.publisher.report()
+        if self.replica is not None:
+            report["replica"] = self.replica.status()
+        if self.router is not None:
+            report["router"] = self.router.report()
+        return report
 
     # -- debug surface -------------------------------------------------------------
 

@@ -49,6 +49,7 @@ from repro.errors import (
     QueryTimeoutError,
     QueryTypeError,
     RemoteQueryError,
+    ReplicaStaleError,
     ReproError,
     ServerBusyError,
     ServerDrainingError,
@@ -181,12 +182,20 @@ def error_code(exception: BaseException) -> str:
 
 def error_payload(exception: BaseException) -> dict:
     """The typed error response dict for an exception."""
-    return {
+    payload = {
         "ok": False,
         "code": error_code(exception),
         "error": str(exception) or type(exception).__name__,
         "error_type": type(exception).__name__,
     }
+    if isinstance(exception, ReplicaStaleError):
+        # Ship the replica's position so the client/router can decide
+        # whether another replica could satisfy the bound.
+        if exception.applied_lsn is not None:
+            payload["applied_lsn"] = list(exception.applied_lsn)
+        if exception.staleness_seconds is not None:
+            payload["staleness_seconds"] = exception.staleness_seconds
+    return payload
 
 
 def raise_for_response(response: dict) -> dict:
@@ -207,6 +216,10 @@ def raise_for_response(response: dict) -> dict:
         raise ServerDrainingError(message)
     if code == "TIMEOUT":
         raise QueryTimeoutError(message)
+    if code == "REPLICA_STALE":
+        raise ReplicaStaleError(
+            message, applied_lsn=response.get("applied_lsn"),
+            staleness_seconds=response.get("staleness_seconds"))
     if code in ("BAD_REQUEST", "QUERY_ERROR"):
         raise RemoteQueryError(message, remote_type=remote_type)
     raise ServerError(message)
@@ -217,6 +230,7 @@ _HTTP_STATUS = {
     "BUSY": (503, "Service Unavailable"),
     "DRAINING": (503, "Service Unavailable"),
     "TIMEOUT": (504, "Gateway Timeout"),
+    "REPLICA_STALE": (503, "Service Unavailable"),
     "BAD_REQUEST": (400, "Bad Request"),
     "QUERY_ERROR": (422, "Unprocessable Entity"),
     "INTERNAL": (500, "Internal Server Error"),

@@ -1,0 +1,164 @@
+"""Chaos/differential test: primary + 2 replicas under randomized
+kills, restarts, torn/duplicated ship batches and dropped connections.
+
+For each seeded schedule we run a durable primary (small
+``checkpoint_every`` so WAL rotations and snapshot-based bootstraps
+happen constantly) and two replicas fed through :class:`ChaosSource`.
+Between every primary write the driver randomly kills/restarts
+replicas, polls them a random number of times, and issues
+stale-bounded / read-your-writes probe reads.  The invariants:
+
+* a *successful* bounded read's reported ``staleness_seconds`` is
+  within its bound, and a ``min_lsn`` read is only served at or past
+  the token (zero bound ALWAYS rejects — primary-only by definition);
+* ``applied_lsn`` is monotone within one replica lifetime (absent a
+  re-bootstrap, which legitimately resets the cursor);
+* after quiescing (faults off, everyone restarted if dead) both
+  replicas converge to ``applied_lsn == primary_lsn`` exactly and
+  match the primary item-for-item: equal version vectors, equal
+  serialized trees, equal probe-query answers.
+
+Schedule count satisfies the acceptance bar (>= 200 by default) and is
+tunable via ``REPLICATION_SCHEDULES``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import Database
+from repro.errors import ReplicaStaleError
+from repro.replication import ReplicationPublisher, lsn_from_wire
+
+from tests.replication.harness import (
+    URI,
+    ReplicaHandle,
+    assert_parity,
+    make_document,
+    probe_tags_for,
+    random_op,
+)
+
+SCHEDULES = int(os.environ.get("REPLICATION_SCHEDULES", "200"))
+OPS_PER_SCHEDULE = 8
+
+
+def _probe_read(handle: ReplicaHandle, primary_lsn, rng, probe_tags,
+                seed: int) -> None:
+    """One bounded/tokened read against a live replica; asserts the
+    staleness contract on whichever way it resolves."""
+    if not handle.alive:
+        return
+    tag = rng.choice(probe_tags)
+    kind = rng.random()
+    request = {"verb": "query", "text": f"//{tag}"}
+    if kind < 0.25:
+        request["max_staleness_seconds"] = 0.0
+    elif kind < 0.75:
+        request["max_staleness_seconds"] = rng.choice([0.5, 5.0, 60.0])
+    else:
+        request["min_lsn"] = [primary_lsn[0], primary_lsn[1]]
+    replica = handle.replica
+    try:
+        response = replica.database.execute_request(request)
+    except ReplicaStaleError as exc:
+        assert exc.code == "REPLICA_STALE"
+        if request.get("max_staleness_seconds") == 0.0:
+            return  # zero bound must always land here
+        # Otherwise rejection is legitimate only when actually behind
+        # or of unknown freshness.
+        if "min_lsn" in request:
+            assert replica.applied_lsn < tuple(request["min_lsn"]), \
+                f"seed {seed}: spurious min_lsn rejection"
+        return
+    assert request.get("max_staleness_seconds") != 0.0, \
+        f"seed {seed}: zero-staleness read served by a replica"
+    assert response["served_by"] == handle.replica_id
+    assert response["role"] == "replica"
+    bound = request.get("max_staleness_seconds")
+    if bound is not None:
+        reported = response["staleness_seconds"]
+        assert reported is not None and reported <= bound, \
+            f"seed {seed}: served {reported}s stale against " \
+            f"bound {bound}s"
+    if "min_lsn" in request:
+        served_at = lsn_from_wire(response["applied_lsn"])
+        assert served_at >= tuple(request["min_lsn"]), \
+            f"seed {seed}: read-your-writes token violated"
+
+
+def _check_monotonic(handle: ReplicaHandle, last: dict, seed: int):
+    """applied_lsn never regresses within one lifetime absent a
+    bootstrap (kills and re-bootstraps legitimately reset it)."""
+    if not handle.alive:
+        last.pop(handle.replica_id, None)
+        return
+    replica = handle.replica
+    key = handle.replica_id
+    marker = (handle.kills, replica.bootstraps)
+    prev = last.get(key)
+    if prev is not None and prev[0] == marker:
+        assert replica.applied_lsn >= prev[1], \
+            f"seed {seed}: {key} applied_lsn regressed " \
+            f"{prev[1]} -> {replica.applied_lsn} without a bootstrap"
+    last[key] = (marker, replica.applied_lsn)
+
+
+@pytest.mark.parametrize("seed", range(SCHEDULES))
+def test_chaos_schedule(seed, tmp_path):
+    rng = random.Random(10_000 + seed)
+    counter = [0]
+    document_xml = make_document(rng, counter)
+
+    primary = Database.open(
+        tmp_path / "primary",
+        checkpoint_every=rng.choice([0, 2, 3, 5]),
+        fsync=False, keep_generations=2)
+    try:
+        primary.load(document_xml, uri=URI)
+        publisher = ReplicationPublisher(primary)
+        handles = [ReplicaHandle("r1", publisher, rng),
+                   ReplicaHandle("r2", publisher, rng)]
+        last_seen = {}
+
+        for _ in range(OPS_PER_SCHEDULE):
+            random_op(rng, primary, counter)
+            primary_lsn = publisher.primary_lsn()
+            for handle in handles:
+                roll = rng.random()
+                if handle.alive and roll < 0.08:
+                    handle.kill()
+                elif not handle.alive and roll < 0.5:
+                    handle.restart()
+                handle.poll(rng.randint(0, 3))
+                if rng.random() < 0.4:
+                    _probe_read(handle, primary_lsn, rng,
+                                probe_tags_for(counter, seed), seed)
+                _check_monotonic(handle, last_seen, seed)
+
+        # Quiesce: faults off, everyone up, drained to the primary's
+        # exact position — then item-for-item parity.
+        probe_tags = probe_tags_for(counter, seed)
+        final_lsn = publisher.primary_lsn()
+        for handle in handles:
+            handle.calm()
+            handle.drain()
+            replica = handle.replica
+            assert replica.applied_lsn == final_lsn, \
+                f"seed {seed}: {handle.replica_id} converged to " \
+                f"{replica.applied_lsn}, primary at {final_lsn}"
+            assert_parity(primary, replica.database, probe_tags,
+                          f"(seed {seed}, {handle.replica_id})")
+            # A caught-up replica must serve a generous bound and the
+            # current read-your-writes token.
+            response = replica.database.execute_request({
+                "verb": "query", "text": "//r",
+                "max_staleness_seconds": 60.0,
+                "min_lsn": list(final_lsn)})
+            assert response["ok"]
+            assert response["served_by"] == handle.replica_id
+    finally:
+        primary.close()

@@ -1,0 +1,161 @@
+"""WAL segment retention vs. tailing readers.
+
+The bug this guards against: checkpoint pruning used to consider only
+``keep_generations``, so a slow replica whose cursor still sat in an
+old WAL generation would find that file *deleted mid-tail* — forcing a
+full snapshot re-bootstrap at best, and silently losing the records
+between its cursor and the snapshot at worst.
+
+The fix is the retention pin (``retain-<replica_id>.pin``): the
+publisher pins a replica's cursor generation at registration and
+refreshes it on every poll, and :func:`prune_generations` never
+removes a generation at or above the smallest live pin.  Pins carry a
+TTL on their mtime so a crashed-and-gone replica cannot hold
+retention hostage forever.
+
+``test_unpinned_tail_is_pruned_away`` is the *failing-before* shape:
+it simulates the pre-fix pruner by deleting the pin, and shows the
+replica's generation really is reclaimed (gap => forced re-bootstrap).
+``test_pinned_tail_survives_pruning`` is the same scenario with the
+pin left in place: the generation survives, the replica drains every
+record with zero gaps and zero extra bootstraps.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro import Database
+from repro.durability.checkpoint import (
+    clear_retention_pin,
+    list_generations,
+    read_retention_pins,
+    retention_pin_path,
+    wal_path,
+    write_retention_pin,
+)
+from repro.replication import ReplicationPublisher
+
+from tests.replication.harness import (
+    URI,
+    ReplicaHandle,
+    assert_parity,
+    make_document,
+    probe_tags_for,
+    random_op,
+)
+
+
+def _advance_generations(primary, rng, counter, checkpoints=3):
+    """Write + checkpoint repeatedly so pruning has work to do."""
+    for _ in range(checkpoints):
+        for _ in range(2):
+            random_op(rng, primary, counter)
+        primary.checkpoint()
+
+
+def _stalled_replica(tmp_path, rng, counter):
+    """A primary several generations ahead of an attached-but-idle
+    replica; returns (primary, publisher, handle, stalled_gen)."""
+    primary = Database.open(tmp_path / "primary", checkpoint_every=0,
+                            fsync=False, keep_generations=1)
+    primary.load(make_document(rng, counter), uri=URI)
+    publisher = ReplicationPublisher(primary)
+    handle = ReplicaHandle("slow", publisher, rng,
+                           drop_p=0.0, dup_p=0.0, trunc_p=0.0)
+    handle.drain()
+    return primary, publisher, handle, handle.replica.applied_lsn[0]
+
+
+def test_unpinned_tail_is_pruned_away(tmp_path):
+    """Without the pin (the pre-fix behavior), the stalled replica's
+    WAL generation is reclaimed and it is forced to re-bootstrap."""
+    rng = random.Random(42)
+    counter = [0]
+    primary, publisher, handle, stalled_gen = _stalled_replica(
+        tmp_path, rng, counter)
+    try:
+        # Simulate the pre-fix pruner: no pin protecting the tail.
+        clear_retention_pin(primary.durability.directory, "slow")
+        _advance_generations(primary, rng, counter)
+
+        assert not wal_path(primary.durability.directory,
+                            stalled_gen).exists(), \
+            "expected the unpinned generation to be pruned"
+        bootstraps_before = handle.replica.bootstraps
+        handle.drain()
+        assert handle.replica.gaps >= 1, \
+            "pruned cursor generation must surface as a gap"
+        assert handle.replica.bootstraps > bootstraps_before, \
+            "a gap must force a snapshot re-bootstrap"
+        # Even the degraded path converges (via snapshot), it is just
+        # expensive — that is exactly what the pin avoids.
+        assert_parity(primary, handle.replica.database,
+                      probe_tags_for(counter, 42), "(unpinned)")
+    finally:
+        primary.close()
+
+
+def test_pinned_tail_survives_pruning(tmp_path):
+    """With the pin (the fix), the stalled replica's generation
+    survives pruning and it catches up by pure WAL replay."""
+    rng = random.Random(43)
+    counter = [0]
+    primary, publisher, handle, stalled_gen = _stalled_replica(
+        tmp_path, rng, counter)
+    try:
+        pins = read_retention_pins(primary.durability.directory)
+        assert pins.get("slow") == stalled_gen, \
+            "polling must leave a pin at the cursor generation"
+        _advance_generations(primary, rng, counter)
+
+        assert wal_path(primary.durability.directory,
+                        stalled_gen).exists(), \
+            "pinned generation must survive keep_generations pruning"
+        # Every generation from the pin forward is still replayable.
+        wals = list_generations(primary.durability.directory)["wals"]
+        assert all(gen in wals
+                   for gen in range(stalled_gen, max(wals) + 1))
+
+        bootstraps_before = handle.replica.bootstraps
+        handle.drain()
+        assert handle.replica.gaps == 0
+        assert handle.replica.bootstraps == bootstraps_before, \
+            "a pinned tail must catch up without re-bootstrapping"
+        assert handle.replica.applied_lsn == publisher.primary_lsn()
+        assert_parity(primary, handle.replica.database,
+                      probe_tags_for(counter, 43), "(pinned)")
+    finally:
+        primary.close()
+
+
+def test_expired_pin_stops_blocking_pruning(tmp_path):
+    """A pin whose mtime exceeds the TTL is ignored (and removed):
+    a dead replica cannot pin retention forever."""
+    rng = random.Random(44)
+    counter = [0]
+    primary, publisher, handle, stalled_gen = _stalled_replica(
+        tmp_path, rng, counter)
+    try:
+        directory = primary.durability.directory
+        pin = retention_pin_path(directory, "slow")
+        # Age the pin far past any TTL.
+        old = time.time() - 10 * primary.durability \
+            .retention_pin_ttl_seconds
+        os.utime(pin, (old, old))
+        primary.durability.retention_pin_ttl_seconds = 60.0
+
+        _advance_generations(primary, rng, counter)
+        assert not wal_path(directory, stalled_gen).exists(), \
+            "an expired pin must not block pruning"
+        assert not pin.exists(), "expired pins are garbage-collected"
+        # The replica is *treated* as dead; if it does come back it
+        # recovers through the gap path.
+        handle.drain()
+        assert handle.replica.gaps >= 1
+        assert_parity(primary, handle.replica.database,
+                      probe_tags_for(counter, 44), "(expired pin)")
+    finally:
+        primary.close()

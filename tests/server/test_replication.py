@@ -1,0 +1,272 @@
+"""Socket-level replication tests: routing, failover, differential.
+
+A real three-node cluster in one process tree: a durable *writer*
+database (the test's reference engine), a primary frontend serving its
+directory with ``publish=True``, and two replica frontends that
+bootstrap + tail the primary over the binary protocol and register
+themselves (so the primary's router discovers them without
+configuration).
+
+Covered here:
+
+* an 8-client mixed read/write differential — concurrent bounded reads
+  through the primary (which may route them to either replica) while
+  the writer mutates; at every quiesced phase each probe query's items
+  must equal the in-process engine's, whichever node served it;
+* replica death mid-workload — reads keep succeeding through
+  transparent server-side failover, and a *direct* read against a lagging
+  replica raises the typed, retryable ``REPLICA_STALE``;
+* ``max_staleness_seconds=0`` never lands on a replica;
+* per-replica ``repro_repl_*`` series merged into the primary's fleet
+  ``/metrics``.
+
+Timing rule (see ``tests/README.md``): no bare sleeps — every wait is
+a bounded poll on an observable condition.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import ReplicaStaleError, ServerError
+from repro.replication import Replica, ReplicationPublisher
+from repro.replication.replica import RemoteSource
+from repro.server import ServerClient, ServerFrontend
+
+from tests.replication.harness import (
+    URI,
+    make_document,
+    random_op,
+)
+
+CLIENTS = 8
+PHASES = 3
+OPS_PER_PHASE = 3
+
+
+def wait_until(condition, timeout=10.0, interval=0.02, message=""):
+    """Bounded poll barrier — the deflaked replacement for sleeps."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not met in {timeout}s: {message}")
+
+
+class Cluster:
+    def __init__(self, root):
+        self.data_dir = str(root / "primary.db")
+        self.writer = Database.open(self.data_dir, checkpoint_every=0,
+                                    fsync=False, keep_generations=4)
+        rng = random.Random(2026)
+        self.counter = [0]
+        self.writer.load(make_document(rng, self.counter), uri=URI)
+        self.writer.checkpoint()
+        self.publisher = ReplicationPublisher(directory=self.data_dir)
+
+        # One real worker process: inline mode has no reload RPC, and
+        # the quiesce barrier republishes via checkpoint + reload.
+        self.primary = ServerFrontend(
+            data_dir=self.data_dir, workers=1, publish=True,
+            router_health_interval=0.05).start()
+        self.replicas = {}
+        self.replica_frontends = {}
+        for name in ("r1", "r2"):
+            self.start_replica(name)
+        host, port = self.primary.address
+        self.client = ServerClient(host, port)
+        self.wait_registered({"r1", "r2"})
+
+    def start_replica(self, name):
+        host, port = self.primary.address
+        replica = Replica(RemoteSource(host, port), replica_id=name,
+                          poll_interval=0.01)
+        frontend = ServerFrontend(workers=0, replica=replica).start()
+        replica.address = "%s:%d" % frontend.address
+        replica.start()
+        self.replicas[name] = replica
+        self.replica_frontends[name] = frontend
+        return replica
+
+    def kill_replica(self, name):
+        """A crash, as the router sees it: the serving socket dies and
+        the tail loop stops; the registration + pin stay behind."""
+        self.replica_frontends.pop(name).stop()
+        self.replicas.pop(name).stop()
+
+    def wait_registered(self, names):
+        def registered():
+            status = self.client.repl_status()
+            return names <= set(status.get("replicas", {}))
+        wait_until(registered, message=f"replicas {names} registering")
+        router = self.primary.router
+        wait_until(
+            lambda: router is not None and
+            {e.name for e in router.endpoints()} >= names,
+            message="router discovering replicas")
+
+    def quiesce(self, names=None):
+        """Writer position fully applied on every named replica and
+        visible to the primary's own serving database."""
+        self.writer.checkpoint()
+        self.client.reload()
+        target = self.publisher.primary_lsn()
+        for name in (names or list(self.replicas)):
+            replica = self.replicas[name]
+            wait_until(
+                lambda r=replica: r.state == "tailing"
+                and r.applied_lsn >= target
+                and r.freshness_ts is not None,
+                message=f"{name} draining to {target}")
+        if self.primary.router is not None:
+            self.primary.router.check_health_once()
+        return target
+
+    def close(self):
+        self.client.close()
+        for name in list(self.replica_frontends):
+            self.kill_replica(name)
+        self.primary.stop()
+        self.writer.close()
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    cluster = Cluster(tmp_path)
+    yield cluster
+    cluster.close()
+
+
+def _probe_queries(counter):
+    tags = [f"n{i}" for i in range(0, counter[0], 3)][:4] or ["n0"]
+    return [f"//{tag}" for tag in tags] + ["//r", "count(//r)"]
+
+
+def test_differential_mixed_clients(cluster):
+    host, port = cluster.primary.address
+    rng = random.Random(99)
+    stop = threading.Event()
+    errors = []
+
+    def reader(index):
+        thread_rng = random.Random(index)
+        try:
+            with ServerClient(host, port) as client:
+                while not stop.is_set():
+                    text = thread_rng.choice(
+                        _probe_queries(cluster.counter))
+                    bound = thread_rng.choice([None, 0.5, 5.0, 30.0])
+                    response = client.query(
+                        text, max_staleness_seconds=bound)
+                    if response.get("served_by"):
+                        assert bound is not None and bound > 0
+                        assert response["staleness_seconds"] <= bound
+        except Exception as exc:  # surfaced in the main thread
+            errors.append((index, exc))
+
+    threads = [threading.Thread(target=reader, args=(i,), daemon=True)
+               for i in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+
+    try:
+        for _ in range(PHASES):
+            for _ in range(OPS_PER_PHASE):
+                random_op(rng, cluster.writer, cluster.counter)
+            token = cluster.quiesce()
+            assert not errors, f"reader contract violations: {errors}"
+            # Differential at the quiesced point: whoever serves it —
+            # the primary or either replica — must answer exactly like
+            # the in-process engine.
+            for text in _probe_queries(cluster.counter):
+                expected = cluster.writer.query(text).values()
+                via_primary = cluster.client.query(text)
+                assert via_primary["items"] == expected
+                via_bound = cluster.client.query(
+                    text, max_staleness_seconds=60.0,
+                    min_lsn=list(token))
+                assert via_bound["items"] == expected
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    assert not errors, f"reader contract violations: {errors}"
+
+
+def test_zero_staleness_always_reads_primary(cluster):
+    cluster.quiesce()
+    for _ in range(20):
+        response = cluster.client.query(
+            "//r", max_staleness_seconds=0.0)
+        assert "served_by" not in response, \
+            "zero-staleness read served by a replica"
+    # A nonzero bound against healthy, caught-up replicas does get
+    # routed (this also proves the zero-bound case above was a policy
+    # decision, not an unhealthy-replica accident).
+    routed = set()
+    for _ in range(20):
+        response = cluster.client.query(
+            "//r", max_staleness_seconds=30.0)
+        if response.get("served_by"):
+            routed.add(response["served_by"])
+    assert routed, "no bounded read was ever routed to a replica"
+
+
+def test_replica_kill_failover_and_typed_staleness(cluster):
+    cluster.quiesce()
+    # Direct client against a live replica first: a read-your-writes
+    # token beyond what it has applied raises the typed, retryable
+    # REPLICA_STALE with its position attached.
+    replica = cluster.replicas["r1"]
+    rhost, rport = cluster.replica_frontends["r1"].address
+    applied = replica.applied_lsn
+    with ServerClient(rhost, rport) as direct:
+        served = direct.query("//r", max_staleness_seconds=30.0)
+        assert served["served_by"] == "r1"
+        with pytest.raises(ReplicaStaleError) as excinfo:
+            direct.query("//r",
+                         min_lsn=[applied[0], applied[1] + 10_000])
+        assert excinfo.value.code == "REPLICA_STALE"
+        assert excinfo.value.applied_lsn is not None
+
+    # Now kill r1 and hammer bounded reads through the primary: every
+    # one must succeed (router fails over to r2 or the primary), and
+    # the fleet keeps serving while the router notices the corpse.
+    cluster.kill_replica("r1")
+    for _ in range(30):
+        response = cluster.client.query(
+            "//r", max_staleness_seconds=30.0)
+        assert response["ok"]
+        assert response.get("served_by") != "r1"
+    report = cluster.primary.report()["replication"]["router"]
+    assert report["routed_to_replica"] + report["fallbacks_to_primary"] > 0
+
+    # r2 alone still serves bounded reads.
+    def routed_to_r2():
+        response = cluster.client.query(
+            "//r", max_staleness_seconds=30.0)
+        return response.get("served_by") == "r2"
+    wait_until(routed_to_r2, message="failover to the surviving replica")
+
+
+def test_fleet_metrics_include_replicas(cluster):
+    cluster.quiesce()
+    # Ensure both replicas have served at least once so their serving
+    # counters are interesting, then scrape the primary's fleet text.
+    for _ in range(8):
+        cluster.client.query("//r", max_staleness_seconds=30.0)
+    text = cluster.primary.metrics_text()
+    assert "repro_repl_registered_replicas" in text
+    assert "repro_repl_batches_shipped_total" in text or \
+           "repro_repl_batches_total" in text
+    for name in ("r1", "r2"):
+        assert f'worker="replica-{name}"' in text, \
+            f"fleet metrics missing {name}'s exposition"
+    assert "repro_repl_staleness_seconds" in text
+    assert "repro_repl_routed_total" in text
